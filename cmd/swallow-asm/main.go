@@ -1,0 +1,63 @@
+// Command swallow-asm assembles XS1 source to its memory image, or
+// disassembles an image back to mnemonics.
+//
+// Usage:
+//
+//	swallow-asm prog.s            # assemble, print hex words
+//	swallow-asm -d prog.s         # assemble then disassemble (listing)
+//	swallow-asm -base 0xF800 prog.s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+
+	"swallow/internal/xs1"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("swallow-asm: ")
+	dis := flag.Bool("d", false, "print a disassembly listing instead of hex")
+	base := flag.String("base", "0", "load base byte address (word aligned)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: swallow-asm [-d] [-base addr] prog.s")
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseAddr, err := strconv.ParseUint(*base, 0, 32)
+	if err != nil || baseAddr%4 != 0 {
+		log.Fatalf("bad -base %q (must be a word-aligned address)", *base)
+	}
+	p, err := xs1.AssembleAt(string(src), int(baseAddr/4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("; %d words (%d bytes) at %#x\n", len(p.Words), p.ByteLen(), baseAddr)
+	if len(p.Symbols) > 0 {
+		names := make([]string, 0, len(p.Symbols))
+		for n := range p.Symbols {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("; %-16s = word %#x (byte %#x)\n", n, p.Symbols[n], p.Symbols[n]*4)
+		}
+	}
+	if *dis {
+		for _, line := range xs1.Disassemble(p) {
+			fmt.Println(line)
+		}
+		return
+	}
+	for i, w := range p.Words {
+		fmt.Printf("%04x: %08x\n", int(baseAddr)/4+i, w)
+	}
+}

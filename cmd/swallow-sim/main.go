@@ -1,0 +1,131 @@
+// Command swallow-sim assembles an XS1 program and runs it on a
+// simulated Swallow machine, reporting the debug trace, console
+// output, instruction counts and the energy bill.
+//
+// Usage:
+//
+//	swallow-sim [-slices WxH] [-node x,y,V|H | -all] [-freq MHz]
+//	            [-timeout ms] prog.s
+//
+// With -all the program runs on every core (SPMD style; programs can
+// branch on GETID). The default placement is the single core V(0,0).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"swallow/internal/core"
+	"swallow/internal/sim"
+	"swallow/internal/topo"
+	"swallow/internal/xs1"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("swallow-sim: ")
+	slices := flag.String("slices", "1x1", "machine size as WxH slices")
+	nodeSpec := flag.String("node", "0,0,V", "core to load as x,y,V|H")
+	all := flag.Bool("all", false, "load the program on every core")
+	freq := flag.Float64("freq", 500, "core clock in MHz")
+	timeoutMS := flag.Int("timeout", 1000, "simulated-time budget in ms")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		log.Fatal("usage: swallow-sim [flags] prog.s")
+	}
+
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := xs1.Assemble(string(src))
+	if err != nil {
+		log.Fatalf("assembling %s: %v", flag.Arg(0), err)
+	}
+
+	sx, sy, err := parseSlices(*slices)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := xs1.Config{FreqMHz: *freq, VDD: 1.0}
+	m, err := core.New(sx, sy, core.Options{Core: &cfg})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *all {
+		if err := m.LoadAll(prog); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		node, err := parseNode(*nodeSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.Load(node, prog); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if err := m.Run(sim.Time(*timeoutMS) * sim.Millisecond); err != nil {
+		log.Fatal(err)
+	}
+
+	for _, c := range m.Cores() {
+		if c.InstrCount == 0 {
+			continue
+		}
+		fmt.Printf("core %v: %d instructions", c.Node(), c.InstrCount)
+		if len(c.Console) > 0 {
+			fmt.Printf(", console: %q", string(c.Console))
+		}
+		if len(c.DebugTrace) > 0 {
+			fmt.Printf(", trace: %v", c.DebugTrace)
+		}
+		fmt.Println()
+	}
+	r := m.Report()
+	fmt.Printf("simulated time: %v\n", r.Elapsed)
+	fmt.Printf("energy: compute %.3g J, background %.3g J, conversion %.3g J, support %.3g J, links %.3g J (total %.3g J)\n",
+		r.ComputationJ, r.BackgroundJ, r.ConversionJ, r.SupportJ, r.LinkJ, r.TotalJ())
+	fmt.Printf("mean wall power: %.2f W\n", m.MeanWallPowerW())
+}
+
+func parseSlices(s string) (int, int, error) {
+	parts := strings.SplitN(strings.ToLower(s), "x", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("bad -slices %q, want WxH", s)
+	}
+	w, err1 := strconv.Atoi(parts[0])
+	h, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil {
+		return 0, 0, fmt.Errorf("bad -slices %q", s)
+	}
+	return w, h, nil
+}
+
+func parseNode(s string) (topo.NodeID, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return 0, fmt.Errorf("bad -node %q, want x,y,V|H", s)
+	}
+	x, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
+	y, err2 := strconv.Atoi(strings.TrimSpace(parts[1]))
+	if err1 != nil || err2 != nil {
+		return 0, fmt.Errorf("bad -node coordinates %q", s)
+	}
+	var l topo.Layer
+	switch strings.ToUpper(strings.TrimSpace(parts[2])) {
+	case "V":
+		l = topo.LayerV
+	case "H":
+		l = topo.LayerH
+	default:
+		return 0, fmt.Errorf("bad -node layer %q, want V or H", parts[2])
+	}
+	return topo.MakeNodeID(x, y, l), nil
+}

@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestParseSlices(t *testing.T) {
+	w, h, err := parseSlices("5x6")
+	if err != nil || w != 5 || h != 6 {
+		t.Fatalf("parseSlices = %d,%d,%v", w, h, err)
+	}
+	for _, bad := range []string{"", "5", "ax2", "2xb"} {
+		if _, _, err := parseSlices(bad); err == nil {
+			t.Errorf("parseSlices(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseNode(t *testing.T) {
+	n, err := parseNode("1,3,H")
+	if err != nil || n.X() != 1 || n.Y() != 3 {
+		t.Fatalf("parseNode = %v, %v", n, err)
+	}
+	if _, err := parseNode("1,3,v"); err != nil {
+		t.Error("lowercase layer rejected")
+	}
+	for _, bad := range []string{"", "1,2", "a,2,V", "1,b,V", "1,2,Q"} {
+		if _, err := parseNode(bad); err == nil {
+			t.Errorf("parseNode(%q) accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Command swallow-tables regenerates every table and figure of the
+// paper from the simulator and prints them, with the published values
+// alongside the simulated ones.
+//
+// Usage:
+//
+//	swallow-tables [-quick] [-only regexp]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+)
+
+import (
+	"swallow/internal/experiments"
+	"swallow/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("swallow-tables: ")
+	quick := flag.Bool("quick", false, "use shorter workloads (less settled measurements)")
+	only := flag.String("only", "", "regexp of artifact names to regenerate")
+	flag.Parse()
+
+	iters := 20000
+	if *quick {
+		iters = 5000
+	}
+	var filter *regexp.Regexp
+	if *only != "" {
+		var err error
+		filter, err = regexp.Compile(*only)
+		if err != nil {
+			log.Fatalf("bad -only pattern: %v", err)
+		}
+	}
+	run := func(name string, fn func() (*report.Table, error)) {
+		if filter != nil && !filter.MatchString(name) {
+			return
+		}
+		t, err := fn()
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		t.Render(os.Stdout)
+		fmt.Println()
+	}
+
+	run("table1", func() (*report.Table, error) {
+		rows, err := experiments.TableI()
+		if err != nil {
+			return nil, err
+		}
+		return experiments.RenderTableI(rows), nil
+	})
+	run("table2", experiments.RenderTableII)
+	run("table3", func() (*report.Table, error) { return experiments.RenderTableIII(), nil })
+	run("fig1", func() (*report.Table, error) {
+		s, err := experiments.Scale(iters)
+		if err != nil {
+			return nil, err
+		}
+		return experiments.RenderScale(s), nil
+	})
+	run("fig2", func() (*report.Table, error) {
+		r, err := experiments.Fig2(iters)
+		if err != nil {
+			return nil, err
+		}
+		return experiments.RenderFig2(r), nil
+	})
+	run("fig3", func() (*report.Table, error) {
+		points, err := experiments.Fig3(iters)
+		if err != nil {
+			return nil, err
+		}
+		t := experiments.RenderFig3(points)
+		slope, intercept, r2, err := experiments.Fig3Fit(points)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("(fit)", fmt.Sprintf("Pc = %.1f + %.3f f", intercept, slope),
+			fmt.Sprintf("r2 = %.5f", r2), "paper: 46 + 0.30 f", "")
+		return t, nil
+	})
+	run("fig4", func() (*report.Table, error) {
+		points, err := experiments.Fig4(iters)
+		if err != nil {
+			return nil, err
+		}
+		return experiments.RenderFig4(points), nil
+	})
+	run("eq2", func() (*report.Table, error) {
+		points, err := experiments.Eq2(iters)
+		if err != nil {
+			return nil, err
+		}
+		return experiments.RenderEq2(points), nil
+	})
+	run("latency", func() (*report.Table, error) {
+		rows, err := experiments.Latencies()
+		if err != nil {
+			return nil, err
+		}
+		return experiments.RenderLatencies(rows), nil
+	})
+	run("goodput", func() (*report.Table, error) {
+		points, err := experiments.GoodputSweep([]int{4, 8, 16, 28, 48, 96})
+		if err != nil {
+			return nil, err
+		}
+		return experiments.RenderGoodput(points), nil
+	})
+	run("ec", func() (*report.Table, error) {
+		rows, err := experiments.ECRatios()
+		if err != nil {
+			return nil, err
+		}
+		return experiments.RenderEC(rows), nil
+	})
+	run("survey-ec", func() (*report.Table, error) { return experiments.RenderSurveyEC(), nil })
+	run("placement", func() (*report.Table, error) {
+		rows, err := experiments.PipelinePlacement(150)
+		if err != nil {
+			return nil, err
+		}
+		return experiments.RenderPlacement(rows), nil
+	})
+}

@@ -1,0 +1,16 @@
+// Package swallow is a full-system, energy-transparent simulator of the
+// Swallow many-core embedded platform (Hollis & Kerrison, DATE 2016),
+// built from scratch in pure-stdlib Go.
+//
+// The simulator reproduces the platform bottom-up: the XS1-L
+// instruction-set and pipeline model (internal/xs1), the five-wire
+// token network with wormhole switches and credit flow control
+// (internal/noc), the slice boards and unwoven-lattice topology
+// (internal/topo), the calibrated energy and power models
+// (internal/energy), the shunt/ADC measurement subsystem
+// (internal/power), the machine assembly (internal/core), the nOS
+// loader (internal/nos), the Ethernet bridge (internal/bridge), and
+// workload generators (internal/workload). internal/experiments
+// regenerates every table and figure of the paper; the benchmarks in
+// bench_test.go and the cmd/ tools are thin wrappers around it.
+package swallow

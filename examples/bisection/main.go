@@ -1,0 +1,84 @@
+// Bisection: the Section V-D stress experiment. All eight cores of a
+// slice's left half stream across the vertical bisection to the right
+// half: the four crossing 62.5 Mbit/s links saturate while compute
+// capacity sits at 128 Gbit/s, demonstrating the EC = 512 imbalance
+// and why the paper recommends localising communication.
+//
+//	go run ./examples/bisection
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"swallow/internal/metrics"
+	"swallow/internal/noc"
+	"swallow/internal/sim"
+	"swallow/internal/topo"
+	"swallow/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	k := sim.NewKernel()
+	net, err := noc.NewNetwork(k, topo.MustSystem(1, 1), noc.OperatingConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One flow per left-half core, each to its mirror on the right.
+	var flows []*workload.Flow
+	for y := 0; y < topo.PackagesPerSliceY; y++ {
+		for i, l := range []topo.Layer{topo.LayerV, topo.LayerH} {
+			flows = append(flows, &workload.Flow{
+				Src:          net.Switch(topo.MakeNodeID(0, y, l)).ChanEnd(uint8(i)),
+				Dst:          net.Switch(topo.MakeNodeID(1, y, l)).ChanEnd(uint8(i)),
+				Tokens:       2400,
+				PacketTokens: 120,
+			})
+		}
+	}
+	fmt.Printf("%d flows crossing the slice's vertical bisection (%d links of 62.5 Mbit/s)\n",
+		len(flows), len(net.Sys.VerticalBisectionLinks()))
+
+	if err := workload.RunFlows(k, flows, sim.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	c := workload.AggregateGoodput(flows)
+	e := 8 * metrics.ExecutionBitRate(metrics.IPSCore(500e6, 4))
+	fmt.Printf("\naggregate C across bisection: %.1f Mbit/s (raw capacity 250)\n", c/1e6)
+	fmt.Printf("execution rate E of 8 cores:  %.0f Gbit/s\n", e/1e9)
+	fmt.Printf("EC ratio:                     %.0f (paper: 512, \"which is undesirable\")\n",
+		metrics.EC(e, c))
+
+	fmt.Println("\nper-flow goodput (packets interleave fairly over the shared links):")
+	for i, f := range flows {
+		fmt.Printf("  flow %d: %6.2f Mbit/s, first-token latency %v\n",
+			i, f.GoodputBitsPerSec()/1e6, f.Latency())
+	}
+
+	// Contrast: the same eight flows kept package-local.
+	k2 := sim.NewKernel()
+	net2, err := noc.NewNetwork(k2, topo.MustSystem(1, 1), noc.OperatingConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	var local []*workload.Flow
+	for y := 0; y < topo.PackagesPerSliceY; y++ {
+		for x := 0; x < topo.PackagesPerSliceX; x++ {
+			local = append(local, &workload.Flow{
+				Src:    net2.Switch(topo.MakeNodeID(x, y, topo.LayerV)).ChanEnd(0),
+				Dst:    net2.Switch(topo.MakeNodeID(x, y, topo.LayerH)).ChanEnd(0),
+				Tokens: 2400,
+			})
+		}
+	}
+	if err := workload.RunFlows(k2, local, sim.Second); err != nil {
+		log.Fatal(err)
+	}
+	cl := workload.AggregateGoodput(local)
+	fmt.Printf("\nsame traffic kept package-local: %.0f Mbit/s aggregate, EC = %.0f\n",
+		cl/1e6, metrics.EC(e, cl))
+}

@@ -1,0 +1,72 @@
+// Netboot: loading programs into Swallow over Ethernet (Section V-E).
+// Every core starts in the nOS boot ROM; images stream in through the
+// 80 Mbit/s bridge, and the loader reports what booting cost in time
+// and network energy.
+//
+//	go run ./examples/netboot
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"swallow/internal/bridge"
+	"swallow/internal/core"
+	"swallow/internal/nos"
+	"swallow/internal/sim"
+	"swallow/internal/topo"
+	"swallow/internal/xs1"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	m, err := core.New(1, 1, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The bridge occupies one of the slice's two South-edge module
+	// sites.
+	br, err := bridge.New(m.K, m.Net, topo.MakeNodeID(0, 3, topo.LayerV))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bridge attached at %v, host address %v\n", br.Node(), br.Addr())
+
+	// An SPMD image: every core reports its node id and position.
+	prog := xs1.MustAssemble(`
+		getid r0
+		dbg   r0
+		ldc   r1, 0
+		ldc   r2, 1000
+	work:
+		add   r1, r1, r2
+		subi  r2, r2, 1
+		brt   r2, work
+		dbg   r1
+		tend
+	`)
+
+	var job nos.Job
+	for i, node := range m.Sys.Nodes() {
+		job.Add(fmt.Sprintf("spmd%d", i), node, prog)
+	}
+	st, err := job.BootOverNetwork(m, br, 5*sim.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("booted %d cores: %d image bytes in %v (%.1f Mbit/s effective), %.3g J of link energy\n",
+		st.Cores, st.ImageBytes, st.Elapsed,
+		float64(st.ImageBytes)*8/st.Elapsed.Seconds()/1e6, st.LinkEnergyJ)
+
+	if err := m.Run(100 * sim.Millisecond); err != nil {
+		log.Fatal(err)
+	}
+	ok := 0
+	for _, c := range m.Cores() {
+		if len(c.DebugTrace) == 2 && c.DebugTrace[0] == uint32(c.Node()) && c.DebugTrace[1] == 500500 {
+			ok++
+		}
+	}
+	fmt.Printf("%d/%d cores ran the booted image correctly\n", ok, m.CoreCount())
+}

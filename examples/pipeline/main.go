@@ -1,0 +1,77 @@
+// Pipeline: the parallel program structure from the paper's
+// introduction - a software pipeline spanning five cores, fed by a
+// source and drained by a sink, communicating over the channel
+// network. Prints per-stage placement, end-to-end results, and where
+// the energy went.
+//
+//	go run ./examples/pipeline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"swallow/internal/core"
+	"swallow/internal/noc"
+	"swallow/internal/sim"
+	"swallow/internal/topo"
+	"swallow/internal/workload"
+	"swallow/internal/xs1"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	m, err := core.New(1, 1, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Stage placement walks the lattice so each hop is short: stages
+	// alternate layers down one column (the chip-local preference of
+	// Section V-D).
+	source := topo.MakeNodeID(0, 0, topo.LayerV)
+	stage1 := topo.MakeNodeID(0, 0, topo.LayerH)
+	stage2 := topo.MakeNodeID(0, 1, topo.LayerV)
+	stage3 := topo.MakeNodeID(0, 1, topo.LayerH)
+	sink := topo.MakeNodeID(0, 2, topo.LayerV)
+
+	const items = 200
+	chan0 := func(n topo.NodeID) noc.ChanEndID { return noc.MakeChanEndID(uint16(n), 0) }
+
+	stages := []struct {
+		name string
+		node topo.NodeID
+		prog *xs1.Program
+	}{
+		{"sink", sink, workload.PipelineSink(items)},
+		{"stage3 (+1000)", stage3, workload.PipelineStage(chan0(sink), items, 1000)},
+		{"stage2 (+100)", stage2, workload.PipelineStage(chan0(stage3), items, 100)},
+		{"stage1 (+10)", stage1, workload.PipelineStage(chan0(stage2), items, 10)},
+		{"source", source, workload.PipelineSource(chan0(stage1), items)},
+	}
+	for _, s := range stages {
+		if err := m.Load(s.node, s.prog); err != nil {
+			log.Fatalf("loading %s: %v", s.name, err)
+		}
+		fmt.Printf("%-15s -> core %v\n", s.name, s.node)
+	}
+
+	if err := m.Run(200 * sim.Millisecond); err != nil {
+		log.Fatal(err)
+	}
+
+	// The sink logs the sum of (i + 1110) for i in 0..items-1.
+	got := m.Core(sink).DebugTrace
+	want := uint32(items*(items-1)/2 + items*1110)
+	fmt.Printf("\nsink sum: %v (expected %d)\n", got, want)
+	fmt.Printf("end-to-end time: %v for %d items\n", m.K.Now(), items)
+
+	fmt.Println("\nper-stage cost:")
+	for _, s := range stages {
+		c := m.Core(s.node)
+		fmt.Printf("  %-15s %6d instructions  %.3g J\n", s.name, c.InstrCount, c.EnergyJ())
+	}
+	r := m.Report()
+	fmt.Printf("\nnetwork energy: %.3g J; machine total: %.3g J\n", r.LinkJ, r.TotalJ())
+}

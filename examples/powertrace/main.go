@@ -1,0 +1,84 @@
+// Powertrace: energy transparency in action. Sweeps the core clock
+// across the paper's DFS range under load, measuring power through the
+// simulated shunt/ADC daughter-board (Fig. 3's experiment), then
+// demonstrates the platform's novel self-measurement path: a program
+// running *on the slice* reads its own power and adapts its frequency.
+//
+//	go run ./examples/powertrace
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"swallow/internal/core"
+	"swallow/internal/energy"
+	"swallow/internal/sim"
+	"swallow/internal/workload"
+	"swallow/internal/xs1"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("frequency sweep, one slice fully loaded (4 threads/core):")
+	fmt.Println("  MHz   wall W   per-core mW   Eq.1 mW")
+	for _, f := range []float64{71, 150, 250, 350, 500} {
+		cfg := xs1.Config{FreqMHz: f, VDD: 1.0}
+		m, err := core.New(1, 1, core.Options{Core: &cfg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := m.LoadAll(workload.HeavyLoad(4, 30000)); err != nil {
+			log.Fatal(err)
+		}
+		m.RunFor(50 * sim.Microsecond)
+		m.Board(0).SampleAll()
+		m.RunFor(500 * sim.Microsecond)
+		smp := m.Board(0).SampleAll()
+		perCore := (smp.TotalInputW() - 0.73) * core.CoreSupplyEfficiency / 16
+		fmt.Printf("  %3.0f   %6.2f   %11.1f   %7.1f\n",
+			f, smp.TotalInputW(), perCore*1e3, energy.CorePowerActive(f)*1e3)
+	}
+
+	// Self-measurement: run a load, sample the board mid-flight, and
+	// emulate an adaptive governor that drops the clock when the slice
+	// exceeds a power budget - the measurement data "collected on the
+	// Swallow slice itself ... a program that can measure its own power
+	// consumption and adapt to the results" (Section II).
+	fmt.Println("\nadaptive governor, 4.0 W slice budget:")
+	m, err := core.New(1, 1, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.LoadAll(workload.HeavyLoad(4, 500000)); err != nil {
+		log.Fatal(err)
+	}
+	freq := 500.0
+	m.RunFor(50 * sim.Microsecond)
+	m.Board(0).SampleAll()
+	for step := 0; step < 8; step++ {
+		m.RunFor(200 * sim.Microsecond)
+		smp := m.Board(0).SampleAll()
+		wall := smp.TotalInputW()
+		fmt.Printf("  t=%8v  f=%3.0f MHz  wall=%.2f W", m.K.Now(), freq, wall)
+		switch {
+		case wall > 4.0 && freq > 71:
+			freq -= 100
+			if freq < 71 {
+				freq = 71
+			}
+			if err := m.SetAllFrequencies(freq); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print("  -> over budget, scaling down")
+		case wall < 3.5 && freq < 500:
+			freq += 50
+			if err := m.SetAllFrequencies(freq); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print("  -> headroom, scaling up")
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,76 @@
+// Quickstart: assemble a small XS1 program, run it on one core of a
+// simulated Swallow slice, and read back results and the energy bill.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"swallow/internal/core"
+	"swallow/internal/sim"
+	"swallow/internal/topo"
+	"swallow/internal/xs1"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// A 1x1 machine is one Swallow slice: 16 XS1-L cores, the unwoven
+	// lattice network, four 1 V supplies plus the 3.3 V rail, and a
+	// measurement daughter-board.
+	m, err := core.New(1, 1, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Sum the first 100 integers, then print the result both through
+	// the debug trace and as console text.
+	prog, err := xs1.Assemble(`
+		ldc  r0, 0          ; sum
+		ldc  r1, 100        ; n
+	loop:
+		add  r0, r0, r1
+		subi r1, r1, 1
+		brt  r1, loop
+		dbg  r0             ; 5050 -> debug trace
+
+		; Decimal print: repeatedly divide by 10 onto the stack.
+		ldc  r2, 10
+		ldc  r3, 0          ; digit count
+	digits:
+		remu r4, r0, r2
+		addi r4, r4, '0'
+		stwi r4, sp, -1
+		subi sp, sp, 4
+		addi r3, r3, 1
+		divu r0, r0, r2
+		brt  r0, digits
+	print:
+		ldwi r4, sp, 0
+		addi sp, sp, 4
+		dbgc r4
+		subi r3, r3, 1
+		brt  r3, print
+		tend
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	node := topo.MakeNodeID(0, 0, topo.LayerV)
+	if err := m.Load(node, prog); err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Run(10 * sim.Millisecond); err != nil {
+		log.Fatal(err)
+	}
+
+	c := m.Core(node)
+	fmt.Printf("debug trace:   %v\n", c.DebugTrace)
+	fmt.Printf("console:       %q\n", string(c.Console))
+	fmt.Printf("instructions:  %d\n", c.InstrCount)
+	fmt.Printf("core energy:   %.3g J over %v\n", c.EnergyJ(), m.K.Now())
+	fmt.Printf("wall power:    %.2f W (whole slice, mostly idle cores)\n", m.MeanWallPowerW())
+}

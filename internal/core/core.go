@@ -1,0 +1,358 @@
+// Package core assembles complete Swallow machines: the slice grid and
+// its unwoven-lattice network, one XS1-L core per node, the per-slice
+// power supplies and measurement boards, and the energy accounting that
+// makes the platform "energy transparent".
+//
+// This is the package examples, tools and benchmarks program against; a
+// Machine is the paper's Fig. 1 stack in software.
+package core
+
+import (
+	"fmt"
+
+	"swallow/internal/noc"
+	"swallow/internal/power"
+	"swallow/internal/sim"
+	"swallow/internal/topo"
+	"swallow/internal/xs1"
+)
+
+// Options parameterises machine construction.
+type Options struct {
+	// Noc configures the interconnect; zero value means the Table I
+	// operating point.
+	Noc *noc.Config
+	// Core configures every processor; zero value means 500 MHz at 1 V.
+	Core *xs1.Config
+}
+
+// SupplyGroups is the number of core supplies per slice: four 1 V
+// converters, each feeding two chips (four cores), per Section II.
+const SupplyGroups = 4
+
+// CoresPerSupply is the load of one 1 V converter.
+const CoresPerSupply = topo.CoresPerSlice / SupplyGroups
+
+// CoreSupplyEfficiency is the implied 1 V converter efficiency,
+// calibrated so a fully loaded slice draws ~4.5 W at the wall
+// (Section III-A).
+const CoreSupplyEfficiency = 0.82
+
+// SliceSupportPowerW is the 3.3 V rail's constant draw (support logic,
+// I/O, link drivers): the remainder of the 4.5 W budget.
+const SliceSupportPowerW = 0.73
+
+// SliceSupplies is the converter count per board: four core rails plus
+// the 3.3 V I/O rail.
+const SliceSupplies = SupplyGroups + 1
+
+// Machine is an assembled Swallow system.
+type Machine struct {
+	K   *sim.Kernel
+	Sys topo.System
+	Net *noc.Network
+
+	cores map[topo.NodeID]*xs1.Core
+
+	// supplies[sliceIndex][rail]; rail SliceSupplies-1 is the 3.3 V rail.
+	supplies [][]*power.Supply
+	boards   []*power.Board
+
+	epoch sim.Time
+}
+
+// New builds a machine over a slicesX x slicesY board grid.
+func New(slicesX, slicesY int, opts Options) (*Machine, error) {
+	sys, err := topo.NewSystem(slicesX, slicesY)
+	if err != nil {
+		return nil, err
+	}
+	nocCfg := noc.OperatingConfig()
+	if opts.Noc != nil {
+		nocCfg = *opts.Noc
+	}
+	coreCfg := xs1.DefaultConfig()
+	if opts.Core != nil {
+		coreCfg = *opts.Core
+	}
+	k := sim.NewKernel()
+	net, err := noc.NewNetwork(k, sys, nocCfg)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{K: k, Sys: sys, Net: net, cores: make(map[topo.NodeID]*xs1.Core)}
+	for _, node := range sys.Nodes() {
+		c, err := xs1.NewCore(k, net.Switch(node), coreCfg)
+		if err != nil {
+			return nil, err
+		}
+		m.cores[node] = c
+	}
+	if err := m.buildPowerTree(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// MustNew is New for known-good literals; it panics on error.
+func MustNew(slicesX, slicesY int, opts Options) *Machine {
+	m, err := New(slicesX, slicesY, opts)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// buildPowerTree wires each slice's cores to its four 1 V supplies and
+// attaches the support rail and measurement board.
+func (m *Machine) buildPowerTree() error {
+	slices := m.Sys.Slices()
+	m.supplies = make([][]*power.Supply, slices)
+	m.boards = make([]*power.Board, slices)
+	for sy := 0; sy < m.Sys.SlicesY; sy++ {
+		for sx := 0; sx < m.Sys.SlicesX; sx++ {
+			idx := sy*m.Sys.SlicesX + sx
+			var rails []*power.Supply
+			nodes := m.sliceNodes(sx, sy)
+			for g := 0; g < SupplyGroups; g++ {
+				s, err := power.NewSupply(
+					fmt.Sprintf("slice%d-1V-%c", idx, 'A'+g), 1.0, 5.0, CoreSupplyEfficiency)
+				if err != nil {
+					return err
+				}
+				for _, node := range nodes[g*CoresPerSupply : (g+1)*CoresPerSupply] {
+					c := m.cores[node]
+					s.Attach(c.EnergyJ)
+				}
+				rails = append(rails, s)
+			}
+			io, err := power.NewSupply(fmt.Sprintf("slice%d-3V3", idx), 3.3, 5.0, 0.85)
+			if err != nil {
+				return err
+			}
+			k := m.K
+			io.Attach(func() float64 {
+				return SliceSupportPowerW * 0.85 * k.Now().Seconds()
+			})
+			rails = append(rails, io)
+			board, err := power.NewBoard(m.K, rails)
+			if err != nil {
+				return err
+			}
+			m.supplies[idx] = rails
+			m.boards[idx] = board
+		}
+	}
+	return nil
+}
+
+// sliceNodes lists the sixteen nodes of one board in supply-group order
+// (two packages = four cores per group).
+func (m *Machine) sliceNodes(sx, sy int) []topo.NodeID {
+	var out []topo.NodeID
+	x0 := sx * topo.PackagesPerSliceX
+	y0 := sy * topo.PackagesPerSliceY
+	for py := 0; py < topo.PackagesPerSliceY; py++ {
+		for px := 0; px < topo.PackagesPerSliceX; px++ {
+			out = append(out,
+				topo.MakeNodeID(x0+px, y0+py, topo.LayerV),
+				topo.MakeNodeID(x0+px, y0+py, topo.LayerH))
+		}
+	}
+	return out
+}
+
+// Core returns the processor at a node.
+func (m *Machine) Core(node topo.NodeID) *xs1.Core { return m.cores[node] }
+
+// CoreAt returns the processor at package coordinates and layer.
+func (m *Machine) CoreAt(x, y int, l topo.Layer) *xs1.Core {
+	return m.cores[topo.MakeNodeID(x, y, l)]
+}
+
+// Cores enumerates processors in deterministic node order.
+func (m *Machine) Cores() []*xs1.Core {
+	nodes := m.Sys.Nodes()
+	out := make([]*xs1.Core, len(nodes))
+	for i, n := range nodes {
+		out[i] = m.cores[n]
+	}
+	return out
+}
+
+// Board returns slice idx's measurement daughter-board.
+func (m *Machine) Board(idx int) *power.Board { return m.boards[idx] }
+
+// Supplies returns slice idx's converter set.
+func (m *Machine) Supplies(idx int) []*power.Supply { return m.supplies[idx] }
+
+// Load places a program on one core.
+func (m *Machine) Load(node topo.NodeID, p *xs1.Program) error {
+	c := m.cores[node]
+	if c == nil {
+		return fmt.Errorf("core: no core at %v", node)
+	}
+	return c.Load(p)
+}
+
+// LoadAll places the same program on every core.
+func (m *Machine) LoadAll(p *xs1.Program) error {
+	for _, node := range m.Sys.Nodes() {
+		if err := m.cores[node].Load(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run advances simulation until every loaded core halts or the horizon
+// passes, returning an error on traps or timeout.
+func (m *Machine) Run(horizon sim.Time) error {
+	deadline := m.K.Now() + horizon
+	step := horizon / 1000
+	if step < sim.Microsecond {
+		step = sim.Microsecond
+	}
+	for m.K.Now() < deadline {
+		m.K.RunFor(step)
+		done := true
+		for _, node := range m.Sys.Nodes() {
+			c := m.cores[node]
+			if err := c.Trapped(); err != nil {
+				return fmt.Errorf("core %v: %w", node, err)
+			}
+			if !c.Done() {
+				done = false
+			}
+		}
+		if done {
+			return nil
+		}
+	}
+	return fmt.Errorf("core: machine did not finish within %v", horizon)
+}
+
+// RunFor advances simulation by d without completion checks.
+func (m *Machine) RunFor(d sim.Time) { m.K.RunFor(d) }
+
+// TotalCoreEnergyJ sums processor energy across the machine.
+func (m *Machine) TotalCoreEnergyJ() float64 {
+	e := 0.0
+	for _, c := range m.cores {
+		e += c.EnergyJ()
+	}
+	return e
+}
+
+// TotalInstrCount sums executed instructions.
+func (m *Machine) TotalInstrCount() uint64 {
+	var n uint64
+	for _, c := range m.cores {
+		n += c.InstrCount
+	}
+	return n
+}
+
+// WallEnergyJ is the machine's total input-side energy: core rails and
+// support rails through their converters, plus link transfer energy
+// (billed to the I/O budget).
+func (m *Machine) WallEnergyJ() float64 {
+	e := 0.0
+	for _, rails := range m.supplies {
+		for _, s := range rails {
+			e += s.InputEnergyJ()
+		}
+	}
+	return e + m.Net.TotalLinkEnergyJ()
+}
+
+// MeanWallPowerW averages wall power since the machine epoch.
+func (m *Machine) MeanWallPowerW() float64 {
+	d := (m.K.Now() - m.epoch).Seconds()
+	if d <= 0 {
+		return 0
+	}
+	return m.WallEnergyJ() / d
+}
+
+// PeakGIPS is the Eq. 2 aggregate capacity of the machine with >= 4
+// threads per core ("the system provides up to 240 GIPS").
+func (m *Machine) PeakGIPS() float64 {
+	f := 0.0
+	for _, c := range m.cores {
+		f += c.Config().FreqMHz * 1e6
+	}
+	return f / 1e9
+}
+
+// SetAllFrequencies rescales every core clock (global DFS).
+func (m *Machine) SetAllFrequencies(fMHz float64) error {
+	for _, c := range m.cores {
+		if err := c.SetFrequency(fMHz); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Slices reports the board count.
+func (m *Machine) Slices() int { return m.Sys.Slices() }
+
+// CoreCount reports the processor count.
+func (m *Machine) CoreCount() int { return m.Sys.Cores() }
+
+// NodeBudgetW estimates the per-node wall power budget of slice idx
+// over the window since its board's last sample: the Fig. 2 quantity
+// (260 mW/node under load).
+func (m *Machine) NodeBudgetW(idx int) float64 {
+	smp := m.boards[idx].SampleAll()
+	return smp.TotalInputW() / float64(topo.CoresPerSlice)
+}
+
+// EnergyReport summarises where energy went, in the vocabulary of
+// Fig. 2's wedges.
+type EnergyReport struct {
+	// Elapsed is the accounting window.
+	Elapsed sim.Time
+	// ComputationJ is instruction switching energy (Fig. 2
+	// "computation & memory ops").
+	ComputationJ float64
+	// BackgroundJ is static plus idle-clock energy (Fig. 2's "static"
+	// and the static share of "network interface").
+	BackgroundJ float64
+	// ConversionJ is DC-DC loss (part of Fig. 2 "DC-DC & I/O").
+	ConversionJ float64
+	// SupportJ is the 3.3 V rail's consumption (rest of "DC-DC & I/O"
+	// plus "other").
+	SupportJ float64
+	// LinkJ is network transfer energy.
+	LinkJ float64
+}
+
+// TotalJ sums the report.
+func (r EnergyReport) TotalJ() float64 {
+	return r.ComputationJ + r.BackgroundJ + r.ConversionJ + r.SupportJ + r.LinkJ
+}
+
+// Report decomposes machine energy since the epoch.
+func (m *Machine) Report() EnergyReport {
+	var r EnergyReport
+	r.Elapsed = m.K.Now() - m.epoch
+	coreOut := 0.0
+	for _, c := range m.cores {
+		r.ComputationJ += c.DynamicEnergyJ()
+		coreOut += c.EnergyJ()
+	}
+	r.BackgroundJ = coreOut - r.ComputationJ
+	for _, rails := range m.supplies {
+		for i, s := range rails {
+			if i < SupplyGroups {
+				r.ConversionJ += s.InputEnergyJ() - s.OutputEnergyJ()
+			} else {
+				r.SupportJ += s.InputEnergyJ()
+			}
+		}
+	}
+	r.LinkJ = m.Net.TotalLinkEnergyJ()
+	return r
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"swallow/internal/sim"
+	"swallow/internal/topo"
+	"swallow/internal/workload"
+	"swallow/internal/xs1"
+)
+
+func TestMachineAssembly(t *testing.T) {
+	m := MustNew(1, 1, Options{})
+	if m.CoreCount() != 16 || m.Slices() != 1 {
+		t.Fatalf("1x1 machine: %d cores, %d slices", m.CoreCount(), m.Slices())
+	}
+	if len(m.Cores()) != 16 {
+		t.Fatalf("Cores() returned %d", len(m.Cores()))
+	}
+	if got := len(m.Supplies(0)); got != SliceSupplies {
+		t.Fatalf("supplies = %d, want %d", got, SliceSupplies)
+	}
+	// Four 1 V rails with four cores each.
+	for g := 0; g < SupplyGroups; g++ {
+		if n := m.Supplies(0)[g].Loads(); n != CoresPerSupply {
+			t.Errorf("rail %d loads = %d, want %d", g, n, CoresPerSupply)
+		}
+	}
+	if m.Board(0) == nil {
+		t.Error("measurement board missing")
+	}
+}
+
+func TestMachineLargestTestedScale(t *testing.T) {
+	// The 480-core machine of the paper (30 slices).
+	m := MustNew(5, 6, Options{})
+	if m.CoreCount() != 480 {
+		t.Fatalf("cores = %d, want 480", m.CoreCount())
+	}
+	// "the system provides up to 240GIPS".
+	if g := m.PeakGIPS(); math.Abs(g-240) > 1e-9 {
+		t.Errorf("peak GIPS = %v, want 240", g)
+	}
+}
+
+func TestMachineValidation(t *testing.T) {
+	if _, err := New(0, 1, Options{}); err == nil {
+		t.Error("0x1 machine accepted")
+	}
+	bad := xs1.Config{FreqMHz: 9999, VDD: 1}
+	if _, err := New(1, 1, Options{Core: &bad}); err == nil {
+		t.Error("bad core config accepted")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew(0,0) did not panic")
+		}
+	}()
+	MustNew(0, 0, Options{})
+}
+
+func TestLoadAllAndRun(t *testing.T) {
+	m := MustNew(1, 1, Options{})
+	prog := xs1.MustAssemble(`
+		getid r0
+		dbg   r0
+		tend
+	`)
+	if err := m.LoadAll(prog); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// Every core logged its own (distinct) node id.
+	seen := map[uint32]bool{}
+	for _, c := range m.Cores() {
+		if len(c.DebugTrace) != 1 {
+			t.Fatalf("core %v trace = %v", c.Node(), c.DebugTrace)
+		}
+		if seen[c.DebugTrace[0]] {
+			t.Fatalf("duplicate node id %#x", c.DebugTrace[0])
+		}
+		seen[c.DebugTrace[0]] = true
+	}
+}
+
+func TestLoadBadNode(t *testing.T) {
+	m := MustNew(1, 1, Options{})
+	err := m.Load(topo.MakeNodeID(50, 50, topo.LayerV), xs1.MustAssemble("tend"))
+	if err == nil {
+		t.Error("load to nonexistent node accepted")
+	}
+}
+
+func TestRunTimesOut(t *testing.T) {
+	m := MustNew(1, 1, Options{})
+	// A spinning program never finishes.
+	prog := xs1.MustAssemble("forever:\nbru forever")
+	if err := m.Load(topo.MakeNodeID(0, 0, topo.LayerV), prog); err != nil {
+		t.Fatal(err)
+	}
+	err := m.Run(100 * sim.Microsecond)
+	if err == nil || !strings.Contains(err.Error(), "did not finish") {
+		t.Fatalf("want timeout error, got %v", err)
+	}
+}
+
+func TestRunSurfacesTraps(t *testing.T) {
+	m := MustNew(1, 1, Options{})
+	prog := xs1.MustAssemble("ldc r0, 3\ndivu r1, r0, r2\ntend")
+	if err := m.Load(topo.MakeNodeID(0, 0, topo.LayerV), prog); err != nil {
+		t.Fatal(err)
+	}
+	err := m.Run(sim.Millisecond)
+	if err == nil || !strings.Contains(err.Error(), "divide by zero") {
+		t.Fatalf("want trap error, got %v", err)
+	}
+}
+
+func TestSliceWallPowerUnderLoad(t *testing.T) {
+	// Section III-A: a fully loaded slice draws ~4.5 W at the wall.
+	m := MustNew(1, 1, Options{})
+	if err := m.LoadAll(workload.HeavyLoad(4, 100000)); err != nil {
+		t.Fatal(err)
+	}
+	// Sample over the fully loaded region only.
+	m.RunFor(100 * sim.Microsecond)
+	m.Board(0).SampleAll()
+	m.RunFor(sim.Millisecond)
+	smp := m.Board(0).SampleAll()
+	wall := smp.TotalInputW()
+	if math.Abs(wall-4.5) > 0.45 {
+		t.Errorf("loaded slice wall power = %.2f W, want ~4.5", wall)
+	}
+	// Per-node budget ~260 mW (the Fig. 2 total).
+	perNode := wall / 16
+	if math.Abs(perNode-0.260) > 0.03 {
+		t.Errorf("per-node budget = %.0f mW, want ~260", perNode*1e3)
+	}
+}
+
+func TestIdleSliceWallPower(t *testing.T) {
+	// All cores idle at 500 MHz: 16 x 113 mW through the converters
+	// plus the support rail: ~2.9 W.
+	m := MustNew(1, 1, Options{})
+	m.RunFor(sim.Millisecond)
+	smp := m.Board(0).SampleAll()
+	want := 16*0.113/CoreSupplyEfficiency + SliceSupportPowerW
+	if math.Abs(smp.TotalInputW()-want) > 0.1 {
+		t.Errorf("idle wall = %.2f W, want ~%.2f", smp.TotalInputW(), want)
+	}
+}
+
+func TestSystemPower480Cores(t *testing.T) {
+	if testing.Short() {
+		t.Skip("480-core machine in -short mode")
+	}
+	// "a complete 480 core, 30 slice system consumes only 134 W":
+	// idle-side check scaled by our load model at full tilt is covered
+	// per-slice; here we assemble the machine and check the static
+	// arithmetic through the supply tree.
+	m := MustNew(5, 6, Options{})
+	m.RunFor(200 * sim.Microsecond)
+	total := 0.0
+	for i := 0; i < m.Slices(); i++ {
+		total += m.Board(i).SampleAll().TotalInputW()
+	}
+	// Idle machine: 30 x ~2.93 W = ~88 W; full load would be ~134 W.
+	if total < 80 || total > 95 {
+		t.Errorf("idle 30-slice machine = %.1f W, want ~88", total)
+	}
+}
+
+func TestEnergyReportDecomposition(t *testing.T) {
+	m := MustNew(1, 1, Options{})
+	if err := m.LoadAll(workload.HeavyLoad(4, 20000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(10 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	r := m.Report()
+	if r.ComputationJ <= 0 || r.BackgroundJ <= 0 || r.ConversionJ <= 0 || r.SupportJ <= 0 {
+		t.Fatalf("report has non-positive components: %+v", r)
+	}
+	// Background dominates computation for this light mix; both well
+	// below total.
+	if r.TotalJ() <= r.ComputationJ {
+		t.Error("total not greater than one component")
+	}
+	// Wall energy equals the report's total (links included).
+	if math.Abs(m.WallEnergyJ()-r.TotalJ()) > r.TotalJ()*1e-9 {
+		t.Errorf("WallEnergyJ %v != report total %v", m.WallEnergyJ(), r.TotalJ())
+	}
+}
+
+func TestMeanWallPower(t *testing.T) {
+	m := MustNew(1, 1, Options{})
+	if m.MeanWallPowerW() != 0 {
+		t.Error("mean power nonzero before time passes")
+	}
+	m.RunFor(sim.Millisecond)
+	p := m.MeanWallPowerW()
+	if p < 2 || p > 4 {
+		t.Errorf("idle mean wall power = %v W, want ~2.9", p)
+	}
+}
+
+func TestSetAllFrequencies(t *testing.T) {
+	m := MustNew(1, 1, Options{})
+	if err := m.SetAllFrequencies(71); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range m.Cores() {
+		if c.Config().FreqMHz != 71 {
+			t.Fatalf("core %v at %v MHz", c.Node(), c.Config().FreqMHz)
+		}
+	}
+	if err := m.SetAllFrequencies(0); err == nil {
+		t.Error("0 MHz accepted")
+	}
+	if g := m.PeakGIPS(); math.Abs(g-16*71e6/1e9) > 1e-9 {
+		t.Errorf("GIPS at 71 MHz = %v", g)
+	}
+}
+
+func TestCoreAtAccessor(t *testing.T) {
+	m := MustNew(1, 1, Options{})
+	c := m.CoreAt(1, 3, topo.LayerH)
+	if c == nil || c.Node() != topo.MakeNodeID(1, 3, topo.LayerH) {
+		t.Error("CoreAt wrong")
+	}
+}

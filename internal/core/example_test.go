@@ -1,0 +1,50 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"swallow/internal/core"
+	"swallow/internal/sim"
+	"swallow/internal/topo"
+	"swallow/internal/xs1"
+)
+
+// Example assembles a program, runs it on one core of a slice, and
+// reads the result back — the library's minimal end-to-end flow.
+func Example() {
+	m, err := core.New(1, 1, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := xs1.Assemble(`
+		ldc  r0, 0
+		ldc  r1, 100
+	loop:
+		add  r0, r0, r1
+		subi r1, r1, 1
+		brt  r1, loop
+		dbg  r0
+		tend
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	node := topo.MakeNodeID(0, 0, topo.LayerV)
+	if err := m.Load(node, prog); err != nil {
+		log.Fatal(err)
+	}
+	if err := m.Run(sim.Millisecond); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(m.Core(node).DebugTrace)
+	// Output: [5050]
+}
+
+// ExampleMachine_PeakGIPS shows the paper's headline capacity
+// calculation for the largest tested machine.
+func ExampleMachine_PeakGIPS() {
+	m := core.MustNew(5, 6, core.Options{})
+	fmt.Printf("%d cores, %.0f GIPS\n", m.CoreCount(), m.PeakGIPS())
+	// Output: 480 cores, 240 GIPS
+}

@@ -1,0 +1,111 @@
+package energy
+
+// NodeBudget is the Fig. 2 decomposition of per-node power: where each
+// node's share of the wall power goes when the system is under load at
+// 500 MHz. The paper's slice draws ~4.5 W for 16 processors, which it
+// rounds to 260 mW per node.
+type NodeBudget struct {
+	// ComputationW is power spent performing computation and memory
+	// operations (78 mW, 30%).
+	ComputationW float64
+	// StaticW is non-computational static and dynamic leakage
+	// (68 mW, 26%).
+	StaticW float64
+	// NetworkInterfaceW is the switch and link interfacing (58 mW, 22%).
+	NetworkInterfaceW float64
+	// ConversionIOW is DC-DC conversion loss plus I/O (46 mW, 18%).
+	ConversionIOW float64
+	// OtherW is everything else (10 mW, ~4%).
+	OtherW float64
+}
+
+// PaperNodeBudget is the published Fig. 2 breakdown.
+var PaperNodeBudget = NodeBudget{
+	ComputationW:      0.078,
+	StaticW:           0.068,
+	NetworkInterfaceW: 0.058,
+	ConversionIOW:     0.046,
+	OtherW:            0.010,
+}
+
+// TotalW sums the budget components (260 mW for the published figures).
+func (b NodeBudget) TotalW() float64 {
+	return b.ComputationW + b.StaticW + b.NetworkInterfaceW + b.ConversionIOW + b.OtherW
+}
+
+// Fractions reports each component as a fraction of the total, in the
+// order computation, static, network interface, conversion/IO, other.
+func (b NodeBudget) Fractions() [5]float64 {
+	t := b.TotalW()
+	if t == 0 {
+		return [5]float64{}
+	}
+	return [5]float64{
+		b.ComputationW / t,
+		b.StaticW / t,
+		b.NetworkInterfaceW / t,
+		b.ConversionIOW / t,
+		b.OtherW / t,
+	}
+}
+
+// ComponentNames labels Fractions entries, matching Fig. 2.
+var ComponentNames = [5]string{
+	"computation & memory ops",
+	"static",
+	"network interface",
+	"DC-DC & I/O",
+	"other",
+}
+
+// Slice- and system-level constants from Sections III-A and IV-B.
+const (
+	// CoresPerSlice is the number of processors on one Swallow board.
+	CoresPerSlice = 16
+	// ChipsPerSlice is the number of dual-core packages per board.
+	ChipsPerSlice = 8
+	// MaxSlices is the manufactured board count.
+	MaxSlices = 40
+	// LargestTestedSlices is the largest machine built and tested
+	// (30 slices = 480 cores; edge-connector yield limited).
+	LargestTestedSlices = 30
+	// SlicePowerMaxW is the maximum per-slice core power (16 x 193 mW
+	// = 3.1 W).
+	SlicePowerMaxW = 3.1
+	// SliceWallPowerW includes supply losses and support logic (4.5 W).
+	SliceWallPowerW = 4.5
+	// SliceSupplyVoltage is the main input rail of a slice.
+	SliceSupplyVoltage = 12.0
+	// SliceOperatingPowerBudgetW is the board's rated envelope (5 W).
+	SliceOperatingPowerBudgetW = 5.0
+)
+
+// SliceCorePower returns the summed core power of one fully loaded slice
+// at frequency f (Eq. 1 x 16).
+func SliceCorePower(fMHz float64) float64 {
+	return CoresPerSlice * CorePowerActive(fMHz)
+}
+
+// ConversionEfficiency is the implied efficiency of the on-board
+// supplies and support logic: 3.1 W of core load presents as ~4.5 W at
+// the wall, i.e. ~18% of wall power is conversion/support overhead
+// (Fig. 2's DC-DC & I/O wedge).
+func ConversionEfficiency() float64 {
+	return SlicePowerMaxW / SliceWallPowerW
+}
+
+// SystemPower returns the wall power of an n-slice machine under load.
+// The paper: a complete 480-core, 30-slice system consumes only 134 W.
+func SystemPower(slices int) float64 {
+	return float64(slices) * SliceWallPowerW
+}
+
+// SystemCores returns the processor count of an n-slice machine.
+func SystemCores(slices int) int { return slices * CoresPerSlice }
+
+// SystemGIPS returns the aggregate instruction throughput in GIPS of an
+// n-slice machine at frequency f with at least four active threads per
+// core (Eq. 2's saturated regime).
+func SystemGIPS(slices int, fMHz float64) float64 {
+	return float64(SystemCores(slices)) * fMHz * 1e6 / 1e9
+}

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+
+	"swallow/internal/bridge"
+	"swallow/internal/core"
+	"swallow/internal/noc"
+	"swallow/internal/nos"
+	"swallow/internal/power"
+	"swallow/internal/sim"
+	"swallow/internal/topo"
+	"swallow/internal/workload"
+	"swallow/internal/xs1"
+)
+
+// MeasurementRates exercises the ADC daughter-board at the Section II
+// limits: 2 MS/s on a single supply, 1 MS/s across all five, and
+// verifies the reconstructed power against the machine's energy
+// accounting.
+func MeasurementRates() error {
+	m, err := core.New(1, 1, core.Options{})
+	if err != nil {
+		return err
+	}
+	if err := m.LoadAll(workload.HeavyLoad(4, 40000)); err != nil {
+		return err
+	}
+	// All five channels at 1 MS/s.
+	board := m.Board(0)
+	m.RunFor(20 * sim.Microsecond)
+	board.SampleAll()
+	trAll, err := board.StartTrace(power.MaxAllChannelHz, 200)
+	if err != nil {
+		return err
+	}
+	m.RunFor(250 * sim.Microsecond)
+	if len(trAll.Samples) != 200 {
+		return fmt.Errorf("all-channel trace collected %d samples", len(trAll.Samples))
+	}
+	mean := trAll.MeanInputW()
+	if mean < 3.5 || mean > 5.2 {
+		return fmt.Errorf("loaded slice wall = %.2f W via ADC, want ~4.5", mean)
+	}
+	// Single channel at 2 MS/s.
+	single, err := power.NewBoard(m.K, m.Supplies(0)[:1])
+	if err != nil {
+		return err
+	}
+	trOne, err := single.StartTrace(power.MaxSingleChannelHz, 200)
+	if err != nil {
+		return err
+	}
+	m.RunFor(150 * sim.Microsecond)
+	if len(trOne.Samples) != 200 {
+		return fmt.Errorf("single-channel trace collected %d samples", len(trOne.Samples))
+	}
+	// Over-rate requests must fail.
+	if _, err := board.StartTrace(power.MaxAllChannelHz*1.5, 4); err == nil {
+		return fmt.Errorf("over-rate multi-channel trace accepted")
+	}
+	return nil
+}
+
+// BridgeRate measures the Ethernet bridge's achieved ingress rate
+// against its 80 Mbit/s cap.
+func BridgeRate() (float64, error) {
+	k := sim.NewKernel()
+	net, err := noc.NewNetwork(k, topo.MustSystem(1, 1), noc.OperatingConfig())
+	if err != nil {
+		return 0, err
+	}
+	br, err := bridge.New(k, net, topo.MakeNodeID(0, 3, topo.LayerV))
+	if err != nil {
+		return 0, err
+	}
+	// A channel end on the bridge's own core: delivery is switch-local,
+	// so the 80 Mbit/s Ethernet pacing is the binding constraint rather
+	// than a 62.5 Mbit/s board link.
+	dst := net.Switch(topo.MakeNodeID(0, 3, topo.LayerV)).ChanEnd(1)
+	drain := func() {
+		for {
+			if _, ok := dst.TryIn(); !ok {
+				return
+			}
+		}
+	}
+	dst.SetWake(drain)
+	const bytes = 40000
+	start := k.Now()
+	br.Send(dst.ID(), make([]byte, bytes))
+	for i := 0; i < 10000 && br.Pending() > 0; i++ {
+		k.RunFor(100 * sim.Microsecond)
+	}
+	if br.Pending() > 0 {
+		return 0, fmt.Errorf("bridge did not drain")
+	}
+	elapsed := (k.Now() - start).Seconds()
+	return float64(bytes) * 8 / elapsed, nil
+}
+
+// AblationPlacement streams the same word count between threads placed
+// core-locally, in-package, on-board and off-board, reporting the
+// achieved rates that motivate the Section V-D placement
+// recommendations.
+func AblationPlacement() (map[string]float64, error) {
+	placements := []struct {
+		name     string
+		src, dst topo.NodeID
+	}{
+		{"core-local", topo.MakeNodeID(0, 0, topo.LayerV), topo.MakeNodeID(0, 0, topo.LayerV)},
+		{"in-package", topo.MakeNodeID(0, 0, topo.LayerV), topo.MakeNodeID(0, 0, topo.LayerH)},
+		{"on-board", topo.MakeNodeID(0, 0, topo.LayerV), topo.MakeNodeID(0, 1, topo.LayerV)},
+		{"off-board", topo.MakeNodeID(1, 0, topo.LayerH), topo.MakeNodeID(2, 0, topo.LayerH)},
+	}
+	out := make(map[string]float64)
+	for _, p := range placements {
+		if p.src == p.dst {
+			// Two channel ends on one core, host-driven.
+			k := sim.NewKernel()
+			net, err := noc.NewNetwork(k, topo.MustSystem(2, 1), noc.OperatingConfig())
+			if err != nil {
+				return nil, err
+			}
+			f := &workload.Flow{
+				Src:    net.Switch(p.src).ChanEnd(0),
+				Dst:    net.Switch(p.src).ChanEnd(1),
+				Tokens: 8000,
+			}
+			if err := workload.RunFlows(k, []*workload.Flow{f}, sim.Second); err != nil {
+				return nil, err
+			}
+			out[p.name] = f.GoodputBitsPerSec()
+			continue
+		}
+		k := sim.NewKernel()
+		net, err := noc.NewNetwork(k, topo.MustSystem(2, 1), noc.OperatingConfig())
+		if err != nil {
+			return nil, err
+		}
+		f := &workload.Flow{
+			Src:    net.Switch(p.src).ChanEnd(0),
+			Dst:    net.Switch(p.dst).ChanEnd(0),
+			Tokens: 8000,
+		}
+		if err := workload.RunFlows(k, []*workload.Flow{f}, sim.Second); err != nil {
+			return nil, err
+		}
+		out[p.name] = f.GoodputBitsPerSec()
+	}
+	return out, nil
+}
+
+// BootCost boots a four-core job over the network through the bridge
+// and reports the nOS loading cost.
+func BootCost() (nos.BootStats, error) {
+	m, err := core.New(1, 1, core.Options{})
+	if err != nil {
+		return nos.BootStats{}, err
+	}
+	br, err := bridge.New(m.K, m.Net, topo.MakeNodeID(0, 3, topo.LayerV))
+	if err != nil {
+		return nos.BootStats{}, err
+	}
+	prog := xs1.MustAssemble(`
+		getid r0
+		dbg   r0
+		tend
+	`)
+	var j nos.Job
+	for i, node := range m.Sys.Nodes()[:4] {
+		j.Add(fmt.Sprintf("t%d", i), node, prog)
+	}
+	st, err := j.BootOverNetwork(m, br, sim.Second)
+	if err != nil {
+		return st, err
+	}
+	if err := m.Run(100 * sim.Millisecond); err != nil {
+		return st, err
+	}
+	return st, nil
+}

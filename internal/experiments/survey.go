@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+
+	"swallow/internal/report"
+	"swallow/internal/survey"
+)
+
+// RenderTableII formats the candidate-processor comparison with the
+// requirement verdict recomputed from the predicate.
+func RenderTableII() (*report.Table, error) {
+	sel, err := survey.SelectedCandidate()
+	if err != nil {
+		return nil, err
+	}
+	t := report.NewTable("Table II: candidate Swallow processors",
+		"processor", "cores x width", "superscalar", "cache", "memory",
+		"interconnect", "deterministic", "meets reqs")
+	for _, c := range survey.Candidates {
+		ss := "No"
+		if c.SuperScalar {
+			ss = "Yes"
+		}
+		verdict := ""
+		if c.MeetsRequirements() {
+			verdict = "YES"
+		}
+		t.AddRow(c.Name,
+			fmt.Sprintf("%dx%d-bit", c.Cores, c.DataWidthBits),
+			ss, c.Cache.String(), c.Memory.String(),
+			c.Interconnect.String(), c.Deterministic.String(), verdict)
+	}
+	if sel.Name != "XMOS XS1-L" {
+		return nil, fmt.Errorf("experiments: selection predicate chose %q", sel.Name)
+	}
+	return t, nil
+}
+
+// RenderTableIII formats the many-core system comparison with the
+// uW/MHz column derived where the published number is power/frequency.
+func RenderTableIII() *report.Table {
+	t := report.NewTable("Table III: scale, technology and power of recent many-core systems",
+		"system", "ISA", "cores/chip", "total cores", "node", "power/core",
+		"freq", "uW/MHz (paper)", "uW/MHz (derived)")
+	for _, s := range survey.Systems {
+		cores := fmt.Sprintf("%d", s.TotalCoresMax)
+		if s.TotalCoresMin != s.TotalCoresMax {
+			cores = fmt.Sprintf("%d-%d", s.TotalCoresMin, s.TotalCoresMax)
+		}
+		pw := fmt.Sprintf("%.0f mW", s.PowerPerCoreMaxW*1e3)
+		if s.PowerPerCoreMinW != s.PowerPerCoreMaxW {
+			pw = fmt.Sprintf("%.0f-%.0f mW", s.PowerPerCoreMinW*1e3, s.PowerPerCoreMaxW*1e3)
+		}
+		fq := fmt.Sprintf("%.0f MHz", s.FreqMaxMHz)
+		if s.FreqMinMHz != s.FreqMaxMHz {
+			fq = fmt.Sprintf("%.0f-%.0f MHz", s.FreqMinMHz, s.FreqMaxMHz)
+		}
+		pub := fmt.Sprintf("%.0f", s.PublishedUWPerMHzHi)
+		if s.PublishedUWPerMHzLo != s.PublishedUWPerMHzHi {
+			pub = fmt.Sprintf("%.0f-%.0f", s.PublishedUWPerMHzLo, s.PublishedUWPerMHzHi)
+		}
+		t.AddRow(s.Name, s.ISA,
+			fmt.Sprintf("%d", s.CoresPerChip), cores,
+			fmt.Sprintf("%d nm", s.TechNodeNM), pw, fq, pub,
+			fmt.Sprintf("%.0f", s.DerivedUWPerMHz()))
+	}
+	return t
+}
+
+// RenderSurveyEC formats the related-work EC comparison.
+func RenderSurveyEC() *report.Table {
+	t := report.NewTable("Section VI: system-wide EC ratios of surveyed systems",
+		"system", "E Gbit/s", "C Gbit/s", "EC")
+	for _, s := range survey.Systems {
+		if s.Name == "Swallow" {
+			continue
+		}
+		t.AddRow(s.Name,
+			fmt.Sprintf("%.1f", s.ComputeGbps),
+			fmt.Sprintf("%.1f", s.CommGbps),
+			fmt.Sprintf("%.2f", s.ECRatio()))
+	}
+	lo, hi := survey.ECRange()
+	t.AddRow("(range)", "", "", fmt.Sprintf("%.2f - %.0f", lo, hi))
+	return t
+}

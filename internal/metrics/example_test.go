@@ -1,0 +1,30 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"swallow/internal/metrics"
+)
+
+// ExampleIPSCore reproduces Eq. 2's saturation behaviour: aggregate
+// throughput grows with active threads up to the pipeline depth.
+func ExampleIPSCore() {
+	for _, nt := range []int{1, 2, 4, 8} {
+		fmt.Printf("%d threads: %.0f MIPS\n", nt, metrics.IPSCore(500e6, nt)/1e6)
+	}
+	// Output:
+	// 1 threads: 125 MIPS
+	// 2 threads: 250 MIPS
+	// 4 threads: 500 MIPS
+	// 8 threads: 500 MIPS
+}
+
+// ExampleEC computes the paper's core-local and bisection ratios.
+func ExampleEC() {
+	e := metrics.ExecutionBitRate(metrics.IPSCore(500e6, 4))
+	fmt.Printf("core-local EC = %.0f\n", metrics.EC(e, e))
+	fmt.Printf("bisection EC = %.0f\n", metrics.EC(8*e, 4*62.5e6))
+	// Output:
+	// core-local EC = 1
+	// bisection EC = 512
+}

@@ -1,0 +1,242 @@
+package noc
+
+import (
+	"fmt"
+
+	"swallow/internal/sim"
+	"swallow/internal/topo"
+)
+
+// ChanEnd is one channel-end resource of a core: the endpoint the ISA's
+// OUT/IN/OUTCT/CHKCT instructions operate on. Output tokens flow through
+// the core's switch into the network (a three-byte header opening the
+// route on first use); input tokens arrive into a bounded buffer with
+// credit backpressure all the way to the sender.
+type ChanEnd struct {
+	sw  *Switch
+	idx uint8
+
+	allocated bool
+	dest      ChanEndID
+	destSet   bool
+	routeOpen bool
+
+	// src is this channel end's injection port into the switch.
+	src *inPort
+
+	// in is the receive buffer.
+	in    []Token
+	inCap int
+
+	// owner is the packet stream currently delivering to this channel
+	// end; concurrent senders interleave at packet granularity.
+	owner   *inPort
+	waiters []*inPort
+	// spaceWaiters are streams stalled on a full receive buffer.
+	spaceWaiters []*inPort
+
+	// wake is invoked (as a fresh kernel event) when progress becomes
+	// possible: tokens arrived, or output space freed.
+	wake func()
+
+	// Stats.
+	TokensIn  uint64
+	TokensOut uint64
+}
+
+func newChanEnd(sw *Switch, idx uint8) *ChanEnd {
+	ce := &ChanEnd{sw: sw, idx: idx, inCap: sw.net.Cfg.ChanEndBuffer}
+	// The output FIFO must hold a full header plus a word so a single
+	// OUT instruction never deadlocks half-injected.
+	ce.src = newChanInPort(ce, sw.net.Cfg.ChanEndBuffer+HeaderTokens+1)
+	return ce
+}
+
+// ID reports the globally routable identifier of this channel end.
+func (ce *ChanEnd) ID() ChanEndID {
+	return MakeChanEndID(uint16(ce.sw.node), ce.idx)
+}
+
+// Node reports the owning core.
+func (ce *ChanEnd) Node() topo.NodeID { return ce.sw.node }
+
+// Allocated reports whether GETR has claimed this channel end.
+func (ce *ChanEnd) Allocated() bool { return ce.allocated }
+
+// Claim marks the channel end allocated from the host side (bridges,
+// instrumentation), reporting false if it was already taken.
+func (ce *ChanEnd) Claim() bool {
+	if ce.allocated {
+		return false
+	}
+	ce.allocated = true
+	return true
+}
+
+// Free releases the resource, as FREER does.
+func (ce *ChanEnd) Free() { ce.allocated = false }
+
+// SetDest programs the destination, as SETD does.
+func (ce *ChanEnd) SetDest(d ChanEndID) {
+	ce.dest = d
+	ce.destSet = true
+}
+
+// Dest reports the programmed destination.
+func (ce *ChanEnd) Dest() ChanEndID { return ce.dest }
+
+// SetWake registers the progress callback (one per channel end; cores
+// multiplex their own threads).
+func (ce *ChanEnd) SetWake(fn func()) { ce.wake = fn }
+
+func (ce *ChanEnd) String() string { return ce.ID().String() }
+
+// CanOut reports whether TryOut would accept a token right now.
+func (ce *ChanEnd) CanOut() bool {
+	need := 1
+	if !ce.routeOpen {
+		need = 1 + HeaderTokens
+	}
+	return ce.src.space() >= need
+}
+
+// TryOut attempts to emit one token. The first token after a closed
+// route injects the three header bytes ahead of it. It reports false
+// when the output path is backpressured; the wake callback fires when
+// space frees.
+func (ce *ChanEnd) TryOut(tok Token) bool {
+	if !ce.routeOpen && !ce.destSet {
+		panic(fmt.Sprintf("noc: %v output with no destination set", ce))
+	}
+	if !ce.CanOut() {
+		return false
+	}
+	if !ce.routeOpen {
+		h := ce.dest.HeaderBytes()
+		for _, b := range h {
+			ce.src.push(DataToken(b))
+		}
+		ce.routeOpen = true
+	}
+	ce.src.push(tok)
+	ce.TokensOut++
+	if tok.ClosesRoute() {
+		ce.routeOpen = false
+	}
+	// The core-to-network interface adds a few cycles of latency.
+	ce.sw.net.K.After(ce.sw.net.Cfg.InjectLatency, ce.src.process)
+	return true
+}
+
+// OutWord emits the four tokens of a 32-bit word, most significant byte
+// first, reporting false (and emitting nothing) if there is no room for
+// all four.
+func (ce *ChanEnd) OutWord(v uint32) bool {
+	need := WordTokens
+	if !ce.routeOpen {
+		need += HeaderTokens
+	}
+	if ce.src.space() < need {
+		return false
+	}
+	for shift := 24; shift >= 0; shift -= 8 {
+		if !ce.TryOut(DataToken(byte(v >> shift))) {
+			panic("noc: OutWord lost space mid-word")
+		}
+	}
+	return true
+}
+
+// outSpaceFreed is called when the injection port consumes a token.
+func (ce *ChanEnd) outSpaceFreed() { ce.scheduleWake() }
+
+// InAvailable reports buffered input tokens.
+func (ce *ChanEnd) InAvailable() int { return len(ce.in) }
+
+// PeekIn returns the head input token without consuming it.
+func (ce *ChanEnd) PeekIn() (Token, bool) {
+	if len(ce.in) == 0 {
+		return Token{}, false
+	}
+	return ce.in[0], true
+}
+
+// TryIn consumes one input token, reporting false when none is
+// buffered.
+func (ce *ChanEnd) TryIn() (Token, bool) {
+	if len(ce.in) == 0 {
+		return Token{}, false
+	}
+	tok := ce.in[0]
+	ce.in = ce.in[1:]
+	ce.TokensIn++
+	// Space freed: nudge any stalled deliverers.
+	ws := ce.spaceWaiters
+	ce.spaceWaiters = nil
+	for _, p := range ws {
+		p.nudge()
+	}
+	return tok, true
+}
+
+// InWord consumes four buffered tokens as a 32-bit word. It reports
+// false without consuming anything when fewer than four data tokens are
+// buffered (a control token mid-word is a protocol error and panics).
+func (ce *ChanEnd) InWord() (uint32, bool) {
+	if len(ce.in) < WordTokens {
+		return 0, false
+	}
+	var v uint32
+	for i := 0; i < WordTokens; i++ {
+		if ce.in[i].Ctrl {
+			panic(fmt.Sprintf("noc: %v control token mid-word", ce))
+		}
+		v = v<<8 | uint32(ce.in[i].Val)
+	}
+	for i := 0; i < WordTokens; i++ {
+		ce.TryIn()
+	}
+	return v, true
+}
+
+// deliver is called by the switch's local delivery path.
+func (ce *ChanEnd) deliver(tok Token, from *inPort) bool {
+	if len(ce.in) >= ce.inCap {
+		ce.spaceWaiters = append(ce.spaceWaiters, from)
+		return false
+	}
+	ce.in = append(ce.in, tok)
+	ce.scheduleWakeAfter(ce.sw.net.Cfg.LocalLatency)
+	return true
+}
+
+// claimLocal gives a packet stream exclusive delivery rights.
+func (ce *ChanEnd) claimLocal(p *inPort) bool {
+	if ce.owner == nil {
+		ce.owner = p
+		return true
+	}
+	ce.waiters = append(ce.waiters, p)
+	return false
+}
+
+// releaseLocal ends a packet's delivery claim and admits the next.
+func (ce *ChanEnd) releaseLocal() {
+	ce.owner = nil
+	if len(ce.waiters) > 0 {
+		next := ce.waiters[0]
+		ce.waiters = ce.waiters[1:]
+		ce.owner = next
+		next.localGranted(ce)
+	}
+}
+
+func (ce *ChanEnd) scheduleWake() { ce.scheduleWakeAfter(0) }
+
+func (ce *ChanEnd) scheduleWakeAfter(d sim.Time) {
+	fn := ce.wake
+	if fn == nil {
+		return
+	}
+	ce.sw.net.K.After(d, fn)
+}

@@ -1,0 +1,239 @@
+package noc
+
+import (
+	"fmt"
+
+	"swallow/internal/energy"
+	"swallow/internal/sim"
+)
+
+// LinkTiming is the configuration of a physical link: its symbol clock
+// and the two programmable delays of the five-wire protocol. A token of
+// four two-bit symbols takes 3*Ts + Tt clock cycles on the wire
+// (Section V-C), so the bit rate is 8 bits / ((3*Ts+Tt) cycles).
+type LinkTiming struct {
+	// ClockMHz is the link symbol clock.
+	ClockMHz float64
+	// Ts is the inter-symbol delay in clock cycles.
+	Ts int
+	// Tt is the inter-token delay in clock cycles.
+	Tt int
+}
+
+// TokenCycles is the link-clock cycles one token occupies.
+func (t LinkTiming) TokenCycles() int { return 3*t.Ts + t.Tt }
+
+// TokenTime is the wire time of one token.
+func (t LinkTiming) TokenTime() sim.Time {
+	return sim.NewClock(t.ClockMHz).Cycles(int64(t.TokenCycles()))
+}
+
+// BitRate is the payload bit rate in bits per second.
+func (t LinkTiming) BitRate() float64 {
+	return Bits / t.TokenTime().Seconds()
+}
+
+// Standard timings. The fastest mode is Ts=2, Tt=1 ("yielding the
+// aforementioned 500 Mbit/s at 500 MHz"); the Swallow operating points
+// of Table I run internal links at 250 Mbit/s and external links at
+// 62.5 Mbit/s to preserve signal integrity.
+var (
+	// TimingInternalMax is the fastest internal-link mode, ~571 Mbit/s
+	// (the paper rounds to 500 Mbit/s).
+	TimingInternalMax = LinkTiming{ClockMHz: 500, Ts: 2, Tt: 1}
+	// TimingInternalOperating is the Table I on-chip operating point:
+	// exactly 250 Mbit/s (16 cycles per token at 500 MHz).
+	TimingInternalOperating = LinkTiming{ClockMHz: 500, Ts: 5, Tt: 1}
+	// TimingExternalMax is the fastest external mode: 125 Mbit/s
+	// (32 cycles per token).
+	TimingExternalMax = LinkTiming{ClockMHz: 500, Ts: 10, Tt: 2}
+	// TimingExternalOperating is the Table I board-level operating
+	// point: exactly 62.5 Mbit/s (64 cycles per token).
+	TimingExternalOperating = LinkTiming{ClockMHz: 500, Ts: 21, Tt: 1}
+)
+
+// LinkStats accumulates traffic and energy counters for one link (or an
+// aggregate of links).
+type LinkStats struct {
+	// Tokens counts every token transmitted.
+	Tokens uint64
+	// DataTokens counts payload tokens (header bytes included: they are
+	// data tokens on the wire).
+	DataTokens uint64
+	// CtrlTokens counts control tokens.
+	CtrlTokens uint64
+	// Bits counts wire bits (Tokens * 8).
+	Bits uint64
+	// EnergyJ is the transfer energy charged to the link.
+	EnergyJ float64
+	// Busy is the accumulated wire-occupied time.
+	Busy sim.Time
+}
+
+// Add accumulates other into s.
+func (s *LinkStats) Add(o LinkStats) {
+	s.Tokens += o.Tokens
+	s.DataTokens += o.DataTokens
+	s.CtrlTokens += o.CtrlTokens
+	s.Bits += o.Bits
+	s.EnergyJ += o.EnergyJ
+	s.Busy += o.Busy
+}
+
+// MeanPowerW reports the average link power over elapsed time d: the
+// quantity Table I's "max link power" column measures at saturation.
+func (s LinkStats) MeanPowerW(d sim.Time) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return s.EnergyJ / d.Seconds()
+}
+
+// EnergyPerBit reports measured joules per transferred bit.
+func (s LinkStats) EnergyPerBit() float64 {
+	if s.Bits == 0 {
+		return 0
+	}
+	return s.EnergyJ / float64(s.Bits)
+}
+
+// Utilization reports the fraction of d the wire was occupied.
+func (s LinkStats) Utilization(d sim.Time) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(s.Busy) / float64(d)
+}
+
+// Link is one direction of a physical connection between two switches.
+// The transmitting side serializes tokens at the link's token time;
+// credit-based flow control bounds in-flight tokens to the receiver's
+// buffer capacity, so a stalled receiver backpressures the sender
+// losslessly.
+type Link struct {
+	name   string
+	class  energy.LinkClass
+	timing LinkTiming
+	k      *sim.Kernel
+
+	// dst is the input port the link feeds.
+	dst *inPort
+	// owner is the source stream currently holding the link (wormhole).
+	owner *inPort
+	// outPort is the direction group this link belongs to, for
+	// re-granting after release.
+	outPort *outPort
+
+	credits     int
+	busyUntil   sim.Time
+	pumpArmed   bool
+	hopLatency  sim.Time
+	energyPerBt float64
+
+	Stats LinkStats
+}
+
+func newLink(k *sim.Kernel, name string, class energy.LinkClass, timing LinkTiming, credits int) *Link {
+	return &Link{
+		name:        name,
+		class:       class,
+		timing:      timing,
+		k:           k,
+		credits:     credits,
+		energyPerBt: energy.LinkEnergyPerBit(class),
+	}
+}
+
+// Class reports the physical class of the link.
+func (l *Link) Class() energy.LinkClass { return l.class }
+
+// Timing reports the link's configured timing.
+func (l *Link) Timing() LinkTiming { return l.timing }
+
+// Name identifies the link in diagnostics.
+func (l *Link) Name() string { return l.name }
+
+func (l *Link) String() string {
+	return fmt.Sprintf("link %s (%v)", l.name, l.class)
+}
+
+// free reports whether the link can be claimed by a new packet.
+func (l *Link) free() bool { return l.owner == nil }
+
+// claim assigns the link to a stream for the duration of a packet.
+func (l *Link) claim(p *inPort) {
+	if l.owner != nil {
+		panic("noc: claiming owned link " + l.name)
+	}
+	l.owner = p
+}
+
+// pump advances transmission: while the link is idle, has credit, and
+// its owner stream has a token ready, transmit one token and schedule
+// the next attempt.
+func (l *Link) pump() {
+	if l.pumpArmed {
+		return
+	}
+	now := l.k.Now()
+	if now < l.busyUntil {
+		l.armAt(l.busyUntil)
+		return
+	}
+	if l.owner == nil || l.credits == 0 {
+		return
+	}
+	tok, ok := l.owner.peekForOutput()
+	if !ok {
+		return
+	}
+	// Transmit.
+	l.owner.consumeForOutput()
+	l.credits--
+	tt := l.timing.TokenTime()
+	l.busyUntil = now + tt
+	l.Stats.Tokens++
+	l.Stats.Bits += Bits
+	l.Stats.Busy += tt
+	l.Stats.EnergyJ += float64(Bits) * l.energyPerBt
+	if tok.Ctrl {
+		l.Stats.CtrlTokens++
+	} else {
+		l.Stats.DataTokens++
+	}
+	closing := tok.ClosesRoute()
+	src := l.owner
+	if closing {
+		// The route is released behind the closing token.
+		l.owner = nil
+		src.outputReleased(l)
+		if l.outPort != nil {
+			l.outPort.released(l)
+		}
+	}
+	dst := l.dst
+	l.k.At(l.busyUntil+l.hopLatency, func() {
+		dst.receive(tok, l)
+	})
+	l.armAt(l.busyUntil)
+}
+
+func (l *Link) armAt(t sim.Time) {
+	if l.pumpArmed {
+		return
+	}
+	l.pumpArmed = true
+	l.k.At(t, func() {
+		l.pumpArmed = false
+		l.pump()
+	})
+}
+
+// returnCredit is called by the receiving port when a buffered token is
+// consumed, after the reverse-wire propagation delay.
+func (l *Link) returnCredit() {
+	l.k.After(l.timing.TokenTime(), func() {
+		l.credits++
+		l.pump()
+	})
+}

@@ -1,0 +1,289 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelOrdering(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	k.At(30, func() { got = append(got, 3) })
+	k.At(10, func() { got = append(got, 1) })
+	k.At(20, func() { got = append(got, 2) })
+	k.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if k.Now() != 30 {
+		t.Errorf("Now = %v, want 30", k.Now())
+	}
+}
+
+func TestKernelFIFOAtSameTime(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		k.At(5, func() { got = append(got, i) })
+	}
+	k.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-timestamp events fired out of schedule order at %d: %v", i, got[:i+1])
+		}
+	}
+}
+
+func TestKernelAfter(t *testing.T) {
+	k := NewKernel()
+	var at Time
+	k.At(100, func() {
+		k.After(50, func() { at = k.Now() })
+	})
+	k.Run()
+	if at != 150 {
+		t.Errorf("After fired at %v, want 150", at)
+	}
+}
+
+func TestKernelCancel(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	ev := k.At(10, func() { fired = true })
+	if !k.Cancel(ev) {
+		t.Fatal("Cancel reported false for pending event")
+	}
+	if k.Cancel(ev) {
+		t.Fatal("double Cancel reported true")
+	}
+	k.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+}
+
+func TestKernelCancelNil(t *testing.T) {
+	k := NewKernel()
+	if k.Cancel(nil) {
+		t.Error("Cancel(nil) reported true")
+	}
+}
+
+func TestKernelCancelMiddleOfHeap(t *testing.T) {
+	k := NewKernel()
+	var got []int
+	evs := make([]*Event, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		evs[i] = k.At(Time(i*10), func() { got = append(got, i) })
+	}
+	k.Cancel(evs[4])
+	k.Cancel(evs[7])
+	k.Run()
+	if len(got) != 8 {
+		t.Fatalf("fired %d events, want 8: %v", len(got), got)
+	}
+	for _, v := range got {
+		if v == 4 || v == 7 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+}
+
+func TestKernelRunUntil(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		k.At(Time(i*100), func() { count++ })
+	}
+	k.RunUntil(500)
+	if count != 5 {
+		t.Errorf("RunUntil(500) fired %d, want 5", count)
+	}
+	if k.Now() != 500 {
+		t.Errorf("Now = %v, want 500", k.Now())
+	}
+	if k.Pending() != 5 {
+		t.Errorf("Pending = %d, want 5", k.Pending())
+	}
+	k.Run()
+	if count != 10 {
+		t.Errorf("Run fired %d total, want 10", count)
+	}
+}
+
+func TestKernelRunForAdvancesClock(t *testing.T) {
+	k := NewKernel()
+	k.RunFor(1234)
+	if k.Now() != 1234 {
+		t.Errorf("empty RunFor: Now = %v, want 1234", k.Now())
+	}
+}
+
+func TestKernelHalt(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		k.At(Time(i), func() {
+			count++
+			if count == 3 {
+				k.Halt()
+			}
+		})
+	}
+	k.Run()
+	if count != 3 {
+		t.Errorf("Halt: fired %d, want 3", count)
+	}
+	if k.Pending() != 7 {
+		t.Errorf("Pending after Halt = %d, want 7", k.Pending())
+	}
+}
+
+func TestKernelPastSchedulingPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling in the past did not panic")
+		}
+	}()
+	k := NewKernel()
+	k.At(100, func() { k.At(50, func() {}) })
+	k.Run()
+}
+
+func TestKernelNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative After delay did not panic")
+		}
+	}()
+	NewKernel().After(-1, func() {})
+}
+
+func TestKernelDeterminism(t *testing.T) {
+	run := func(seed int64) []int {
+		rng := rand.New(rand.NewSource(seed))
+		k := NewKernel()
+		var got []int
+		for i := 0; i < 500; i++ {
+			i := i
+			k.At(Time(rng.Intn(1000)), func() { got = append(got, i) })
+		}
+		k.Run()
+		return got
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic schedule at %d", i)
+		}
+	}
+}
+
+// Property: any batch of events fires in nondecreasing time order.
+func TestKernelMonotonicProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		k := NewKernel()
+		var times []Time
+		for _, d := range delays {
+			k.At(Time(d), func() { times = append(times, k.Now()) })
+		}
+		k.Run()
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return k.Pending() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClockPeriods(t *testing.T) {
+	cases := []struct {
+		mhz    float64
+		period Time
+	}{
+		{500, 2000},
+		{400, 2500},
+		{250, 4000},
+		{100, 10000},
+		{71, 14085}, // 1e6/71 = 14084.5 -> rounds to 14085
+	}
+	for _, c := range cases {
+		clk := NewClock(c.mhz)
+		if clk.Period() != c.period {
+			t.Errorf("NewClock(%v).Period = %v, want %v", c.mhz, clk.Period(), c.period)
+		}
+		if clk.FreqMHz() != c.mhz {
+			t.Errorf("FreqMHz = %v, want %v", clk.FreqMHz(), c.mhz)
+		}
+	}
+}
+
+func TestClockCycles(t *testing.T) {
+	clk := NewClock(500)
+	if got := clk.Cycles(4); got != 8000 {
+		t.Errorf("4 cycles @500MHz = %v, want 8000ps", got)
+	}
+	if got := clk.CyclesAt(10000); got != 5 {
+		t.Errorf("CyclesAt(10000) = %d, want 5", got)
+	}
+}
+
+func TestClockZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewClock(0) did not panic")
+		}
+	}()
+	NewClock(0)
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t Time
+		s string
+	}{
+		{500, "500ps"},
+		{1500, "1.500ns"},
+		{2 * Microsecond, "2.000us"},
+		{3 * Second, "3.000000s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.s {
+			t.Errorf("%d.String() = %q, want %q", int64(c.t), got, c.s)
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if (2 * Nanosecond).Nanoseconds() != 2 {
+		t.Error("Nanoseconds conversion wrong")
+	}
+	if Second.Seconds() != 1 {
+		t.Error("Seconds conversion wrong")
+	}
+}
+
+func BenchmarkKernelThroughput(b *testing.B) {
+	k := NewKernel()
+	var next func()
+	n := 0
+	next = func() {
+		n++
+		if n < b.N {
+			k.After(1, next)
+		}
+	}
+	k.After(1, next)
+	b.ResetTimer()
+	k.Run()
+}

@@ -1,0 +1,160 @@
+package survey
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTableIIOnlyXS1Passes(t *testing.T) {
+	sel, err := SelectedCandidate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Name != "XMOS XS1-L" {
+		t.Fatalf("selected %q, want XMOS XS1-L", sel.Name)
+	}
+}
+
+func TestTableIIRows(t *testing.T) {
+	if len(Candidates) != 8 {
+		t.Fatalf("Table II rows = %d, want 8", len(Candidates))
+	}
+	// Spot-check published cells.
+	byName := map[string]Candidate{}
+	for _, c := range Candidates {
+		byName[c.Name] = c
+	}
+	if c := byName["Adapteva Epiphany"]; c.Cores != 64 || c.Cache != CacheNone || c.Deterministic != DetNo {
+		t.Errorf("Epiphany row wrong: %+v", c)
+	}
+	if c := byName["MSP430"]; c.DataWidthBits != 16 || c.Deterministic != DetYes {
+		t.Errorf("MSP430 row wrong: %+v", c)
+	}
+	if c := byName["MSP430"]; c.MeetsRequirements() {
+		t.Error("MSP430 passes requirements (16-bit, no interconnect)")
+	}
+	if c := byName["Quark"]; c.Interconnect != IntEthernet || c.Memory != MemUnifiedDRAM {
+		t.Errorf("Quark row wrong: %+v", c)
+	}
+	if c := byName["ARM Cortex A, multi-core"]; !c.SuperScalar || c.Interconnect != IntCoherentMem {
+		t.Errorf("Cortex-A MP row wrong: %+v", c)
+	}
+}
+
+func TestTableIIStringRendering(t *testing.T) {
+	if MemUnifiedSRAM.String() != "Unified, single cycle SRAM" {
+		t.Error(MemUnifiedSRAM.String())
+	}
+	if IntNoCExternal.String() != "NoC + external" {
+		t.Error(IntNoCExternal.String())
+	}
+	if DetWithoutCache.String() != "W/o cache" {
+		t.Error(DetWithoutCache.String())
+	}
+	if CacheOptional.String() != "Optional" {
+		t.Error(CacheOptional.String())
+	}
+	// Unknown values still render.
+	if MemoryKind(99).String() == "" || InterconnectKind(99).String() == "" ||
+		TimeDeterminism(99).String() == "" || CacheKind(99).String() == "" {
+		t.Error("unknown enum rendered empty")
+	}
+}
+
+func TestTableIIIRows(t *testing.T) {
+	if len(Systems) != 5 {
+		t.Fatalf("Table III rows = %d, want 5", len(Systems))
+	}
+	sw, ok := SystemByName("Swallow")
+	if !ok {
+		t.Fatal("Swallow missing")
+	}
+	if sw.TotalCoresMax != 480 || sw.TechNodeNM != 65 || sw.CoresPerChip != 2 {
+		t.Errorf("Swallow row wrong: %+v", sw)
+	}
+	if _, ok := SystemByName("nonexistent"); ok {
+		t.Error("bogus lookup succeeded")
+	}
+}
+
+func TestTableIIIDerivedUWPerMHz(t *testing.T) {
+	// The published derived column reproduces from power/frequency for
+	// SpiNNaker, Tile64 and Epiphany; Swallow's printed 300 is the
+	// Eq. 1 dynamic slope; Centip3De's top figure is its 80 MHz point.
+	cases := []struct {
+		name string
+		want float64
+		tol  float64
+	}{
+		{"SpiNNaker", 435, 1},
+		{"Tile64", 300, 1},
+		{"Epiphany-IV", 38.8, 1},
+	}
+	for _, c := range cases {
+		s, _ := SystemByName(c.name)
+		if got := s.DerivedUWPerMHz(); math.Abs(got-c.want) > c.tol {
+			t.Errorf("%s derived uW/MHz = %.1f, want %.1f", c.name, got, c.want)
+		}
+	}
+	// Swallow's published value equals the dynamic slope, not the
+	// derived max-power figure (193/500 = 386).
+	sw, _ := SystemByName("Swallow")
+	if math.Abs(sw.DerivedUWPerMHz()-386) > 1 {
+		t.Errorf("Swallow derived = %.0f, want 386", sw.DerivedUWPerMHz())
+	}
+	if sw.PublishedUWPerMHzLo != 300 {
+		t.Error("Swallow published uW/MHz must be 300 (dynamic slope)")
+	}
+	// Centip3De's 203 mW at 80 MHz is ~2540 uW/MHz.
+	ce, _ := SystemByName("Centip3De")
+	if got := ce.PowerPerCoreMinW * 1e6 / ce.FreqMaxMHz; math.Abs(got-2537.5) > 1 {
+		t.Errorf("Centip3De low point = %.1f, want 2537.5", got)
+	}
+}
+
+func TestTableIIIPowerPerCoreOrdering(t *testing.T) {
+	// "Swallow's power per core is in the middle of the surveyed range".
+	sw, _ := SystemByName("Swallow")
+	below, above := 0, 0
+	for _, s := range Systems {
+		if s.Name == "Swallow" {
+			continue
+		}
+		if s.PowerPerCoreMaxW < sw.PowerPerCoreMaxW {
+			below++
+		}
+		if s.PowerPerCoreMaxW > sw.PowerPerCoreMaxW {
+			above++
+		}
+	}
+	if below == 0 || above == 0 {
+		t.Errorf("Swallow not mid-range: %d below, %d above", below, above)
+	}
+}
+
+func TestECRange(t *testing.T) {
+	lo, hi := ECRange()
+	// "system wide computation to communication ratios ranging from
+	// 0.42 to 55".
+	if math.Abs(lo-0.42) > 0.02 {
+		t.Errorf("EC range low = %.3f, want ~0.42", lo)
+	}
+	if math.Abs(hi-55) > 0.5 {
+		t.Errorf("EC range high = %.1f, want ~55", hi)
+	}
+}
+
+func TestPublishedECRatios(t *testing.T) {
+	tile, _ := SystemByName("Tile64")
+	if math.Abs(tile.ECRatio()-2.4) > 0.05 {
+		t.Errorf("Tile64 EC = %.2f, want 2.4", tile.ECRatio())
+	}
+	cent, _ := SystemByName("Centip3De")
+	if math.Abs(cent.ECRatio()-55) > 0.5 {
+		t.Errorf("Centip3De EC = %.1f, want 55", cent.ECRatio())
+	}
+	var zero System
+	if zero.ECRatio() != 0 {
+		t.Error("zero-comm system EC should be 0 sentinel")
+	}
+}

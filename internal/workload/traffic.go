@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"fmt"
+
+	"swallow/internal/noc"
+	"swallow/internal/sim"
+)
+
+// Flow is a host-driven token stream between two channel ends, used
+// for pure network experiments (bandwidth, contention, bisection)
+// without instruction-set overhead - the network-hardware-limited
+// regime of Section V-D's C (communication) measurements.
+type Flow struct {
+	// Src and Dst are the endpoints; Src.SetDest is called at start.
+	Src, Dst *noc.ChanEnd
+	// Tokens is the total data-token budget.
+	Tokens int
+	// PacketTokens is the payload per packet before an END closes the
+	// route; 0 streams the whole budget as one open circuit ended by a
+	// single END.
+	PacketTokens int
+
+	sent     int
+	inPacket int
+	received int
+	done     bool
+
+	// FirstArrival and LastArrival stamp delivery times.
+	FirstArrival, LastArrival sim.Time
+	started                   sim.Time
+	k                         *sim.Kernel
+}
+
+// Done reports whether every token arrived.
+func (f *Flow) Done() bool { return f.done }
+
+// Received reports delivered data tokens.
+func (f *Flow) Received() int { return f.received }
+
+// GoodputBitsPerSec is delivered payload bits over the transfer window.
+func (f *Flow) GoodputBitsPerSec() float64 {
+	d := (f.LastArrival - f.started).Seconds()
+	if d <= 0 {
+		return 0
+	}
+	return float64(f.received*8) / d
+}
+
+// Latency reports first-token delivery latency.
+func (f *Flow) Latency() sim.Time { return f.FirstArrival - f.started }
+
+// pump pushes tokens while the network accepts them.
+func (f *Flow) pump() {
+	for f.sent < f.Tokens {
+		if f.PacketTokens > 0 && f.inPacket == f.PacketTokens {
+			if !f.Src.TryOut(noc.CtrlToken(noc.CtEnd)) {
+				return
+			}
+			f.inPacket = 0
+			continue
+		}
+		if !f.Src.TryOut(noc.DataToken(byte(f.sent))) {
+			return
+		}
+		f.sent++
+		f.inPacket++
+	}
+	// Budget sent: close the route.
+	if f.inPacket > 0 || f.PacketTokens == 0 {
+		if f.Src.TryOut(noc.CtrlToken(noc.CtEnd)) {
+			f.inPacket = 0
+			f.sent++ // sentinel so we do not re-close
+		}
+	}
+}
+
+// drain consumes arrivals.
+func (f *Flow) drain() {
+	for {
+		tok, ok := f.Dst.TryIn()
+		if !ok {
+			return
+		}
+		if tok.Ctrl {
+			continue
+		}
+		if f.received == 0 {
+			f.FirstArrival = f.k.Now()
+		}
+		f.received++
+		f.LastArrival = f.k.Now()
+		if f.received == f.Tokens {
+			f.done = true
+		}
+	}
+}
+
+// Start arms the flow on kernel k.
+func (f *Flow) Start(k *sim.Kernel) {
+	f.k = k
+	f.started = k.Now()
+	f.Src.SetDest(f.Dst.ID())
+	f.Src.SetWake(f.pump)
+	f.Dst.SetWake(f.drain)
+	k.After(0, f.pump)
+	k.After(0, f.drain)
+}
+
+// RunFlows starts every flow and advances the kernel until all
+// complete or the horizon passes.
+func RunFlows(k *sim.Kernel, flows []*Flow, horizon sim.Time) error {
+	for _, f := range flows {
+		f.Start(k)
+	}
+	deadline := k.Now() + horizon
+	for k.Now() < deadline {
+		step := horizon / 1000
+		if step < sim.Microsecond {
+			step = sim.Microsecond
+		}
+		k.RunFor(step)
+		all := true
+		for _, f := range flows {
+			if !f.Done() {
+				all = false
+				break
+			}
+		}
+		if all {
+			return nil
+		}
+	}
+	incomplete := 0
+	var sample *Flow
+	for _, f := range flows {
+		if !f.Done() {
+			incomplete++
+			if sample == nil {
+				sample = f
+			}
+		}
+	}
+	return fmt.Errorf("workload: %d/%d flows incomplete after %v (first: %d/%d tokens)",
+		incomplete, len(flows), horizon, sample.Received(), sample.Tokens)
+}
+
+// AggregateGoodput sums flow goodputs in bits per second.
+func AggregateGoodput(flows []*Flow) float64 {
+	total := 0.0
+	for _, f := range flows {
+		total += f.GoodputBitsPerSec()
+	}
+	return total
+}

@@ -1,0 +1,282 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"swallow/internal/core"
+	"swallow/internal/noc"
+	"swallow/internal/sim"
+	"swallow/internal/topo"
+)
+
+func node(x, y int, l topo.Layer) topo.NodeID { return topo.MakeNodeID(x, y, l) }
+
+func chanID(n topo.NodeID, idx uint8) noc.ChanEndID {
+	return noc.MakeChanEndID(uint16(n), idx)
+}
+
+func TestBusyLoopThreadValidation(t *testing.T) {
+	for _, n := range []int{0, 9} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("BusyLoop(%d) did not panic", n)
+				}
+			}()
+			BusyLoop(n, 10)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("HeavyLoad(0) did not panic")
+			}
+		}()
+		HeavyLoad(0, 10)
+	}()
+}
+
+func TestBusyLoopRuns(t *testing.T) {
+	m := core.MustNew(1, 1, core.Options{})
+	n := node(0, 0, topo.LayerV)
+	if err := m.Load(n, BusyLoop(8, 2000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(10 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	c := m.Core(n)
+	if c.InstrCount < 8*2*2000 {
+		t.Errorf("instr count %d too low for 8 threads", c.InstrCount)
+	}
+}
+
+func TestHeavyLoadHitsEq1Power(t *testing.T) {
+	// The calibrated heavy mix at 4 threads, 500 MHz: ~193 mW.
+	m := core.MustNew(1, 1, core.Options{})
+	n := node(0, 0, topo.LayerV)
+	if err := m.Load(n, HeavyLoad(4, 30000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(50 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	c := m.Core(n)
+	elapsed := c.LastIssue.Seconds()
+	powerW := c.BackgroundPowerW() + c.DynamicEnergyJ()/elapsed
+	if math.Abs(powerW-0.193) > 0.012 {
+		t.Errorf("heavy load core power = %.1f mW, want ~193", powerW*1e3)
+	}
+}
+
+func TestStreamPrograms(t *testing.T) {
+	m := core.MustNew(1, 1, core.Options{})
+	tx := node(0, 0, topo.LayerV)
+	rx := node(0, 0, topo.LayerH)
+	const words = 50
+	if err := m.Load(rx, StreamRx(words)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load(tx, StreamTx(chanID(rx, 0), words)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(50 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	want := uint32(words * (words - 1) / 2)
+	got := m.Core(rx).DebugTrace
+	if len(got) != 1 || got[0] != want {
+		t.Fatalf("sum = %v, want %d", got, want)
+	}
+}
+
+func TestPingPongPrograms(t *testing.T) {
+	m := core.MustNew(1, 1, core.Options{})
+	a := node(0, 0, topo.LayerV)
+	b := node(0, 1, topo.LayerV)
+	const rounds = 10
+	if err := m.Load(b, PingRx(chanID(a, 0), rounds)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load(a, PingTx(chanID(b, 0), rounds)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(100 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	trace := m.Core(a).DebugTrace
+	if len(trace) != rounds {
+		t.Fatalf("rounds recorded = %d, want %d", len(trace), rounds)
+	}
+	for i, rtt := range trace {
+		// Round trips in reference ticks (10 ns); must be positive and
+		// well under 100 us.
+		if rtt == 0 || rtt > 10000 {
+			t.Errorf("round %d rtt = %d ticks", i, rtt)
+		}
+	}
+}
+
+func TestPipelineAcrossCores(t *testing.T) {
+	// source -> stage1 -> stage2 -> sink across four cores.
+	m := core.MustNew(1, 1, core.Options{})
+	src := node(0, 0, topo.LayerV)
+	s1 := node(0, 0, topo.LayerH)
+	s2 := node(0, 1, topo.LayerV)
+	sink := node(0, 1, topo.LayerH)
+	const count = 20
+	if err := m.Load(sink, PipelineSink(count)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load(s2, PipelineStage(chanID(sink, 0), count, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load(s1, PipelineStage(chanID(s2, 0), count, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load(src, PipelineSource(chanID(s1, 0), count)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(100 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// Sum of (i + 110) for i in 0..19.
+	want := uint32(count*(count-1)/2 + count*110)
+	got := m.Core(sink).DebugTrace
+	if len(got) != 1 || got[0] != want {
+		t.Fatalf("pipeline sum = %v, want %d", got, want)
+	}
+}
+
+func TestClientServerFarm(t *testing.T) {
+	m := core.MustNew(1, 1, core.Options{})
+	server := node(0, 0, topo.LayerV)
+	clients := []topo.NodeID{node(0, 0, topo.LayerH), node(0, 1, topo.LayerV)}
+	const perClient = 8
+	if err := m.Load(server, ServerProgram(perClient*len(clients))); err != nil {
+		t.Fatal(err)
+	}
+	for _, cn := range clients {
+		if err := m.Load(cn, ClientProgram(chanID(server, 0), perClient)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Run(200 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	for _, cn := range clients {
+		trace := m.Core(cn).DebugTrace
+		if len(trace) != 1 || trace[0] != perClient {
+			t.Fatalf("client %v correct replies = %v, want %d", cn, trace, perClient)
+		}
+	}
+}
+
+func TestSharedMemoryEmulation(t *testing.T) {
+	m := core.MustNew(1, 1, core.Options{})
+	server := node(0, 0, topo.LayerV)
+	client := node(1, 2, topo.LayerH) // several hops away
+	const words = 16
+	if err := m.Load(server, MemServer(2*words)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load(client, MemClient(chanID(server, 0), words)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(200 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	trace := m.Core(client).DebugTrace
+	if len(trace) != 1 || trace[0] != words {
+		t.Fatalf("read-back correct = %v, want %d", trace, words)
+	}
+}
+
+func TestFlowGoodput(t *testing.T) {
+	k := sim.NewKernel()
+	net, err := noc.NewNetwork(k, topo.MustSystem(1, 1), noc.OperatingConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &Flow{
+		Src:    net.Switch(node(0, 0, topo.LayerV)).ChanEnd(0),
+		Dst:    net.Switch(node(0, 1, topo.LayerV)).ChanEnd(0),
+		Tokens: 2000,
+	}
+	if err := RunFlows(k, []*Flow{f}, 100*sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Done() || f.Received() != 2000 {
+		t.Fatalf("flow incomplete: %d", f.Received())
+	}
+	// A single open circuit on a 62.5 Mbit/s vertical link: goodput
+	// close to wire rate (header amortised over 2000 tokens).
+	g := f.GoodputBitsPerSec() / 1e6
+	if math.Abs(g-62.5) > 2 {
+		t.Errorf("circuit goodput = %.1f Mbit/s, want ~62.5", g)
+	}
+	if f.Latency() <= 0 {
+		t.Error("latency not positive")
+	}
+}
+
+func TestFlowPacketized(t *testing.T) {
+	k := sim.NewKernel()
+	net, err := noc.NewNetwork(k, topo.MustSystem(1, 1), noc.OperatingConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &Flow{
+		Src:          net.Switch(node(0, 0, topo.LayerV)).ChanEnd(0),
+		Dst:          net.Switch(node(0, 1, topo.LayerV)).ChanEnd(0),
+		Tokens:       280,
+		PacketTokens: 28,
+	}
+	if err := RunFlows(k, []*Flow{f}, 100*sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// 28-byte packets: goodput ~87.5% of 62.5 Mbit/s.
+	g := f.GoodputBitsPerSec() / 1e6
+	if math.Abs(g-0.875*62.5) > 3 {
+		t.Errorf("packetised goodput = %.1f Mbit/s, want ~%.1f", g, 0.875*62.5)
+	}
+}
+
+func TestRunFlowsTimeout(t *testing.T) {
+	k := sim.NewKernel()
+	net, err := noc.NewNetwork(k, topo.MustSystem(1, 1), noc.OperatingConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &Flow{
+		Src:    net.Switch(node(0, 0, topo.LayerV)).ChanEnd(0),
+		Dst:    net.Switch(node(0, 1, topo.LayerV)).ChanEnd(0),
+		Tokens: 1 << 30, // cannot finish
+	}
+	if err := RunFlows(k, []*Flow{f}, 100*sim.Microsecond); err == nil {
+		t.Error("unfinishable flow reported success")
+	}
+}
+
+func TestAggregateGoodput(t *testing.T) {
+	k := sim.NewKernel()
+	net, err := noc.NewNetwork(k, topo.MustSystem(1, 1), noc.OperatingConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two disjoint vertical flows on different columns.
+	fs := []*Flow{
+		{Src: net.Switch(node(0, 0, topo.LayerV)).ChanEnd(0),
+			Dst: net.Switch(node(0, 1, topo.LayerV)).ChanEnd(0), Tokens: 1000},
+		{Src: net.Switch(node(1, 0, topo.LayerV)).ChanEnd(0),
+			Dst: net.Switch(node(1, 1, topo.LayerV)).ChanEnd(0), Tokens: 1000},
+	}
+	if err := RunFlows(k, fs, 100*sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	total := AggregateGoodput(fs) / 1e6
+	if math.Abs(total-125) > 5 {
+		t.Errorf("aggregate goodput = %.1f Mbit/s, want ~125", total)
+	}
+}

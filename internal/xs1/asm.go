@@ -1,0 +1,349 @@
+package xs1
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Program is an assembled memory image plus its symbol table.
+type Program struct {
+	// Words is the image, loaded at address 0.
+	Words []uint32
+	// Symbols maps labels to instruction-word addresses (for code) or
+	// word addresses of data.
+	Symbols map[string]int
+	// Entry is the starting word address of thread 0.
+	Entry int
+}
+
+// ByteLen reports the loaded image size in bytes.
+func (p *Program) ByteLen() int { return len(p.Words) * 4 }
+
+// Assemble translates assembler source into a Program.
+//
+// Syntax: one statement per line; comments start with ';' or '#'.
+// Statements are 'label:' prefixes, directives, or instructions:
+//
+//	start:  ldc   r0, 100        ; 32-bit immediate
+//	        add   r1, r1, r0
+//	        brt   r1, start      ; branch to label
+//	        ldc   r2, @table     ; '@label' = label's BYTE address
+//	table:  .word 1, 2, 3        ; literal data words
+//
+// Immediates accept decimal, 0x hex, character 'c' literals, '@label'
+// byte addresses, and 'CT_END'/'CT_PAUSE'/'CT_ACK'/'CT_NACK' control
+// token names.
+func Assemble(src string) (*Program, error) { return AssembleAt(src, 0) }
+
+// AssembleAt assembles a program whose image will be loaded at word
+// address baseWord (byte address baseWord*4): all labels, branch
+// targets and '@label' byte references resolve relative to that base.
+// The nOS boot ROM uses this to live at the top of SRAM.
+func AssembleAt(src string, baseWord int) (*Program, error) {
+	if baseWord < 0 || baseWord*4 >= MemSize {
+		return nil, fmt.Errorf("base word %d outside SRAM", baseWord)
+	}
+	type pending struct {
+		instr   Instr
+		label   string // unresolved label for Imm, "" if resolved
+		byteRef bool   // label resolves to byte address (@label)
+		line    int
+	}
+	var stmts []pending
+	symbols := make(map[string]int)
+	// First pass: parse, lay out addresses, record labels.
+	addr := baseWord // in words
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		for {
+			i := strings.Index(line, ":")
+			if i < 0 {
+				break
+			}
+			label := strings.TrimSpace(line[:i])
+			if !validLabel(label) {
+				return nil, fmt.Errorf("line %d: bad label %q", ln+1, label)
+			}
+			if _, dup := symbols[label]; dup {
+				return nil, fmt.Errorf("line %d: duplicate label %q", ln+1, label)
+			}
+			symbols[label] = addr
+			line = strings.TrimSpace(line[i+1:])
+		}
+		if line == "" {
+			continue
+		}
+		fields := splitOperands(line)
+		mnem := fields[0]
+		args := fields[1:]
+		if strings.HasPrefix(mnem, ".") {
+			switch mnem {
+			case ".word":
+				for _, a := range args {
+					v, err := parseImm(a)
+					if err != nil {
+						return nil, fmt.Errorf("line %d: .word %q: %v", ln+1, a, err)
+					}
+					stmts = append(stmts, pending{instr: Instr{Op: 0xff, Imm: v}, line: ln + 1})
+					addr++
+				}
+			case ".space":
+				if len(args) != 1 {
+					return nil, fmt.Errorf("line %d: .space needs a word count", ln+1)
+				}
+				n, err := parseImm(args[0])
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("line %d: bad .space count", ln+1)
+				}
+				for i := int32(0); i < n; i++ {
+					stmts = append(stmts, pending{instr: Instr{Op: 0xff, Imm: 0}, line: ln + 1})
+					addr++
+				}
+			default:
+				return nil, fmt.Errorf("line %d: unknown directive %s", ln+1, mnem)
+			}
+			continue
+		}
+		op, ok := opByName(mnem)
+		if !ok {
+			return nil, fmt.Errorf("line %d: unknown instruction %q", ln+1, mnem)
+		}
+		p, err := parseInstr(op, args)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %s: %v", ln+1, mnem, err)
+		}
+		p.line = ln + 1
+		stmts = append(stmts, p)
+		addr += p.instr.Words()
+	}
+	// Second pass: resolve labels, emit words.
+	prog := &Program{Symbols: symbols}
+	for _, st := range stmts {
+		if st.instr.Op == 0xff { // data word sentinel
+			prog.Words = append(prog.Words, uint32(st.instr.Imm))
+			continue
+		}
+		in := st.instr
+		if st.label != "" {
+			target, ok := symbols[st.label]
+			if !ok {
+				return nil, fmt.Errorf("line %d: undefined label %q", st.line, st.label)
+			}
+			if st.byteRef {
+				in.Imm = int32(target * 4)
+			} else {
+				in.Imm = int32(target)
+			}
+		}
+		prog.Words = append(prog.Words, in.Encode()...)
+	}
+	if baseWord*4+prog.ByteLen() > MemSize {
+		return nil, fmt.Errorf("program is %d bytes at base %#x, exceeds %d byte SRAM", prog.ByteLen(), baseWord*4, MemSize)
+	}
+	return prog, nil
+}
+
+// MustAssembleAt is AssembleAt for known-good sources.
+func MustAssembleAt(src string, baseWord int) *Program {
+	p, err := AssembleAt(src, baseWord)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// MustAssemble is Assemble for known-good sources; it panics on error.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func validLabel(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// splitOperands splits "op a, b, c" into ["op", "a", "b", "c"].
+func splitOperands(line string) []string {
+	i := strings.IndexAny(line, " \t")
+	if i < 0 {
+		return []string{strings.ToLower(line)}
+	}
+	out := []string{strings.ToLower(line[:i])}
+	for _, f := range strings.Split(line[i:], ",") {
+		f = strings.TrimSpace(f)
+		if f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func opByName(name string) (Opcode, bool) {
+	for op := Opcode(0); int(op) < NumOpcodes; op++ {
+		if opTable[op].name == name {
+			return op, true
+		}
+	}
+	return 0, false
+}
+
+func parseReg(s string) (uint8, error) {
+	switch strings.ToLower(s) {
+	case "sp":
+		return RegSP, nil
+	case "lr":
+		return RegLR, nil
+	}
+	if strings.HasPrefix(strings.ToLower(s), "r") {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < NumGPRegs {
+			return uint8(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+var ctNames = map[string]int32{
+	"ct_end":   1,
+	"ct_pause": 2,
+	"ct_ack":   3,
+	"ct_nack":  4,
+}
+
+func parseImm(s string) (int32, error) {
+	ls := strings.ToLower(s)
+	if v, ok := ctNames[ls]; ok {
+		return v, nil
+	}
+	if len(s) == 3 && s[0] == '\'' && s[2] == '\'' {
+		return int32(s[1]), nil
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	if v < -(1<<31) || v > (1<<32)-1 {
+		return 0, fmt.Errorf("immediate %q out of 32-bit range", s)
+	}
+	return int32(uint32(v)), nil
+}
+
+type pendingInstr = struct {
+	instr   Instr
+	label   string
+	byteRef bool
+	line    int
+}
+
+func parseInstr(op Opcode, args []string) (pendingInstr, error) {
+	var p pendingInstr
+	p.instr.Op = op
+	info := opTable[op]
+	need := map[pattern]int{
+		patNone: 0, patR: 1, patRR: 2, patRRR: 3,
+		patRI: 2, patRRI: 3, patI: 1, patRL: 2, patL: 1, patRIR: 3,
+	}[info.pat]
+	if len(args) != need {
+		return p, fmt.Errorf("want %d operands, got %d", need, len(args))
+	}
+	setImm := func(s string) error {
+		if strings.HasPrefix(s, "@") {
+			if !validLabel(s[1:]) {
+				return fmt.Errorf("bad label reference %q", s)
+			}
+			p.label = s[1:]
+			p.byteRef = true
+			return nil
+		}
+		if info.immIsLabel && validLabel(s) {
+			p.label = s
+			return nil
+		}
+		v, err := parseImm(s)
+		if err != nil {
+			return err
+		}
+		p.instr.Imm = v
+		return nil
+	}
+	var err error
+	switch info.pat {
+	case patNone:
+	case patR:
+		p.instr.A, err = parseReg(args[0])
+	case patRR:
+		if p.instr.A, err = parseReg(args[0]); err == nil {
+			p.instr.B, err = parseReg(args[1])
+		}
+	case patRRR:
+		if p.instr.A, err = parseReg(args[0]); err == nil {
+			if p.instr.B, err = parseReg(args[1]); err == nil {
+				p.instr.C, err = parseReg(args[2])
+			}
+		}
+	case patRI, patRL:
+		if p.instr.A, err = parseReg(args[0]); err == nil {
+			err = setImm(args[1])
+		}
+	case patRRI:
+		if p.instr.A, err = parseReg(args[0]); err == nil {
+			if p.instr.B, err = parseReg(args[1]); err == nil {
+				err = setImm(args[2])
+			}
+		}
+	case patI, patL:
+		err = setImm(args[0])
+	case patRIR:
+		if p.instr.A, err = parseReg(args[0]); err == nil {
+			if err = setImm(args[1]); err == nil {
+				p.instr.B, err = parseReg(args[2])
+			}
+		}
+	}
+	return p, err
+}
+
+// Disassemble renders a program's instruction stream for debugging.
+// Data words interleaved with code disassemble as whatever they decode
+// to; the output is a diagnostic aid, not a round-trippable source.
+func Disassemble(p *Program) []string {
+	var out []string
+	for i := 0; i < len(p.Words); {
+		w1 := uint32(0)
+		if i+1 < len(p.Words) {
+			w1 = p.Words[i+1]
+		}
+		in, err := Decode(p.Words[i], w1)
+		if err != nil {
+			out = append(out, fmt.Sprintf("%04x: .word %#x", i, p.Words[i]))
+			i++
+			continue
+		}
+		out = append(out, fmt.Sprintf("%04x: %s", i, in.String()))
+		i += in.Words()
+	}
+	return out
+}

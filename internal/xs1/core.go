@@ -1,0 +1,456 @@
+package xs1
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"swallow/internal/energy"
+	"swallow/internal/noc"
+	"swallow/internal/sim"
+	"swallow/internal/topo"
+)
+
+// ThreadState enumerates hardware thread lifecycle states.
+type ThreadState uint8
+
+const (
+	// TFree threads are unallocated.
+	TFree ThreadState = iota
+	// TPaused threads are allocated (GETST) but not started.
+	TPaused
+	// TReady threads compete for issue slots.
+	TReady
+	// TBlockedChan threads wait on a channel end.
+	TBlockedChan
+	// TBlockedTime threads wait on the reference clock.
+	TBlockedTime
+	// TBlockedJoin threads wait for another thread to halt.
+	TBlockedJoin
+	// TDone threads have executed TEND.
+	TDone
+	// TTrapped threads hit a protocol or memory error.
+	TTrapped
+)
+
+// String names the state.
+func (s ThreadState) String() string {
+	return [...]string{"free", "paused", "ready", "blocked-chan",
+		"blocked-time", "blocked-join", "done", "trapped"}[s]
+}
+
+// Thread is one hardware thread context.
+type Thread struct {
+	ID    int
+	State ThreadState
+	Regs  [NumRegs]uint32
+	PC    uint32 // instruction word address
+
+	// nextReady is the earliest issue time (pipeline spacing, divider
+	// stalls).
+	nextReady sim.Time
+	// blockedOn is the channel end a TBlockedChan thread waits for.
+	blockedOn *noc.ChanEnd
+	// joinTarget is the thread a TBlockedJoin thread waits for.
+	joinTarget int
+	// trap describes why a TTrapped thread stopped.
+	trap error
+
+	// Instrs counts instructions issued by this thread.
+	Instrs uint64
+}
+
+// Trap reports the trap reason of a TTrapped thread.
+func (t *Thread) Trap() error { return t.trap }
+
+// Config parameterises one core.
+type Config struct {
+	// FreqMHz is the core clock (71-500 MHz on Swallow).
+	FreqMHz float64
+	// VDD is the supply voltage (1.0 V on Swallow; DVFS studies vary it).
+	VDD float64
+}
+
+// DefaultConfig is the Swallow operating point: 500 MHz at 1 V.
+func DefaultConfig() Config { return Config{FreqMHz: 500, VDD: 1.0} }
+
+// Core simulates one XS1-L processor: eight hardware threads sharing a
+// four-stage pipeline and 64 KiB of single-cycle SRAM, attached to its
+// network switch.
+type Core struct {
+	k    *sim.Kernel
+	node topo.NodeID
+	sw   *noc.Switch
+	cfg  Config
+	clk  sim.Clock
+
+	mem     []byte
+	threads [MaxThreads]Thread
+	// rr is the round-robin issue order of thread IDs.
+	rr []int
+
+	issueEv   *sim.Event
+	issueTime sim.Time
+
+	// timerAlloc tracks GETR'd timers.
+	timerAlloc [MaxThreads]bool
+
+	// Energy accounting: background (static + idle dynamic) accrues
+	// with time; instructions add incremental switching energy.
+	accrualStart sim.Time
+	accruedJ     float64
+	dynamicJ     float64
+
+	// Counters.
+	InstrCount  uint64
+	ClassCounts [energy.NumInstrClasses]uint64
+	IdleSlots   uint64
+	// LastIssue is the kernel time of the most recent issued
+	// instruction, for throughput measurements.
+	LastIssue sim.Time
+
+	// DebugTrace collects OpDBG values; Console collects OpDBGC bytes.
+	DebugTrace []uint32
+	Console    []byte
+
+	halted bool
+}
+
+// NewCore builds a core bound to switch sw on kernel k.
+func NewCore(k *sim.Kernel, sw *noc.Switch, cfg Config) (*Core, error) {
+	if cfg.FreqMHz < 1 || cfg.FreqMHz > energy.MaxCoreFreqMHz {
+		return nil, fmt.Errorf("xs1: frequency %v MHz outside 1-500", cfg.FreqMHz)
+	}
+	if cfg.VDD < 0.5 || cfg.VDD > 1.2 {
+		return nil, fmt.Errorf("xs1: VDD %v outside 0.5-1.2", cfg.VDD)
+	}
+	c := &Core{
+		k:    k,
+		node: sw.Node(),
+		sw:   sw,
+		cfg:  cfg,
+		clk:  sim.NewClock(cfg.FreqMHz),
+		mem:  make([]byte, MemSize),
+	}
+	for i := range c.threads {
+		c.threads[i].ID = i
+	}
+	c.accrualStart = k.Now()
+	return c, nil
+}
+
+// Node reports the core's position.
+func (c *Core) Node() topo.NodeID { return c.node }
+
+// Switch exposes the core's network switch.
+func (c *Core) Switch() *noc.Switch { return c.sw }
+
+// Config reports the core's operating point.
+func (c *Core) Config() Config { return c.cfg }
+
+// Thread exposes a thread context for inspection.
+func (c *Core) Thread(id int) *Thread { return &c.threads[id] }
+
+// ActiveThreads counts threads holding issue slots (ready or blocked on
+// the divider; blocked threads do not burn issue energy but are still
+// allocated).
+func (c *Core) ActiveThreads() int {
+	n := 0
+	for i := range c.threads {
+		switch c.threads[i].State {
+		case TReady:
+			n++
+		}
+	}
+	return n
+}
+
+// LiveThreads counts threads not free/done/trapped.
+func (c *Core) LiveThreads() int {
+	n := 0
+	for i := range c.threads {
+		switch c.threads[i].State {
+		case TFree, TDone, TTrapped:
+		default:
+			n++
+		}
+	}
+	return n
+}
+
+// Load copies a program image into SRAM and resets thread 0 to run it.
+// Remaining threads become free.
+func (c *Core) Load(p *Program) error {
+	if p.ByteLen() > MemSize {
+		return fmt.Errorf("xs1: program exceeds SRAM")
+	}
+	for i := range c.mem {
+		c.mem[i] = 0
+	}
+	for i, w := range p.Words {
+		binary.LittleEndian.PutUint32(c.mem[i*4:], w)
+	}
+	for i := range c.threads {
+		c.threads[i] = Thread{ID: i}
+	}
+	c.rr = c.rr[:0]
+	c.DebugTrace = nil
+	c.Console = nil
+	c.halted = false
+	t0 := &c.threads[0]
+	t0.State = TReady
+	t0.PC = uint32(p.Entry)
+	t0.Regs[RegSP] = MemSize - 4
+	c.rr = append(c.rr, 0)
+	c.scheduleIssue(c.alignUp(c.k.Now()))
+	return nil
+}
+
+// LoadAt resets the core's threads and writes a program image at an
+// arbitrary word-aligned byte offset, starting thread 0 there. Unlike
+// Load it does not clear the rest of SRAM: it is how the nOS boot ROM
+// is installed high in memory while leaving address 0 free for the
+// incoming image.
+func (c *Core) LoadAt(p *Program, byteBase uint32) error {
+	if byteBase&3 != 0 {
+		return fmt.Errorf("xs1: load base %#x not word aligned", byteBase)
+	}
+	if int(byteBase)+p.ByteLen() > MemSize {
+		return fmt.Errorf("xs1: program at %#x exceeds SRAM", byteBase)
+	}
+	for i, w := range p.Words {
+		binary.LittleEndian.PutUint32(c.mem[byteBase+uint32(i*4):], w)
+	}
+	for i := range c.threads {
+		c.threads[i] = Thread{ID: i}
+	}
+	c.rr = c.rr[:0]
+	c.halted = false
+	t0 := &c.threads[0]
+	t0.State = TReady
+	t0.PC = byteBase/4 + uint32(p.Entry)
+	t0.Regs[RegSP] = MemSize - 4
+	c.rr = append(c.rr, 0)
+	c.scheduleIssue(c.alignUp(c.k.Now()))
+	return nil
+}
+
+// Done reports whether every live thread has halted.
+func (c *Core) Done() bool { return c.LiveThreads() == 0 }
+
+// Trapped returns the first trapped thread's error, or nil.
+func (c *Core) Trapped() error {
+	for i := range c.threads {
+		if c.threads[i].State == TTrapped {
+			return fmt.Errorf("thread %d: %w", i, c.threads[i].trap)
+		}
+	}
+	return nil
+}
+
+// alignUp rounds a time up to the core's cycle grid.
+func (c *Core) alignUp(t sim.Time) sim.Time {
+	p := c.clk.Period()
+	return (t + p - 1) / p * p
+}
+
+// scheduleIssue arranges the next issue attempt at time t (moving any
+// later-scheduled attempt earlier).
+func (c *Core) scheduleIssue(t sim.Time) {
+	if c.halted {
+		return
+	}
+	if c.issueEv != nil {
+		if c.issueTime <= t {
+			return
+		}
+		c.k.Cancel(c.issueEv)
+	}
+	c.issueTime = t
+	c.issueEv = c.k.At(t, c.issueStep)
+}
+
+// issueStep is the pipeline: pick the next ready thread in round-robin
+// order and execute one instruction.
+func (c *Core) issueStep() {
+	c.issueEv = nil
+	now := c.k.Now()
+	var th *Thread
+	for i := 0; i < len(c.rr); i++ {
+		cand := &c.threads[c.rr[0]]
+		c.rr = append(c.rr[1:], c.rr[0])
+		if cand.State == TReady && cand.nextReady <= now {
+			th = cand
+			break
+		}
+	}
+	if th == nil {
+		c.IdleSlots++
+		// No thread ready now: wake at the earliest future readiness.
+		var next sim.Time = -1
+		for _, id := range c.rr {
+			t := &c.threads[id]
+			if t.State == TReady && (next < 0 || t.nextReady < next) {
+				next = t.nextReady
+			}
+		}
+		if next >= 0 {
+			c.scheduleIssue(c.alignUp(next))
+		}
+		return
+	}
+	c.execute(th)
+	if th.State == TReady {
+		th.nextReady = max(th.nextReady, now+c.clk.Cycles(PipelineDepth))
+	}
+	// Another thread may issue next cycle.
+	c.scheduleIssue(now + c.clk.Period())
+}
+
+// kickThread readies a blocked thread and restarts the pipeline.
+func (c *Core) kickThread(th *Thread) {
+	th.State = TReady
+	th.blockedOn = nil
+	if th.nextReady < c.k.Now() {
+		th.nextReady = c.alignUp(c.k.Now())
+	}
+	c.scheduleIssue(c.alignUp(max(c.k.Now(), th.nextReady)))
+}
+
+// chargeInstr bills one issued instruction.
+func (c *Core) chargeInstr(th *Thread, class energy.InstrClass) {
+	c.InstrCount++
+	c.ClassCounts[class]++
+	th.Instrs++
+	c.LastIssue = c.k.Now()
+	c.dynamicJ += energy.InstrEnergy(class, c.cfg.VDD)
+}
+
+// BackgroundPowerW is the always-on power at the core's operating point
+// (static plus idle clock dynamic), voltage-scaled: dynamic power
+// follows C*V^2*f and leakage is modelled proportional to V.
+func (c *Core) BackgroundPowerW() float64 {
+	return energy.ScalePowerToVoltage(
+		energy.StaticPowerW,
+		energy.IdleDynamicPerMHzW*c.cfg.FreqMHz,
+		c.cfg.VDD)
+}
+
+// EnergyJ reports total energy consumed up to the current kernel time:
+// background power integrated over elapsed time plus the incremental
+// energy of every issued instruction.
+func (c *Core) EnergyJ() float64 {
+	elapsed := (c.k.Now() - c.accrualStart).Seconds()
+	return c.accruedJ + c.dynamicJ + c.BackgroundPowerW()*elapsed
+}
+
+// DynamicEnergyJ reports only the instruction-switching energy.
+func (c *Core) DynamicEnergyJ() float64 { return c.dynamicJ }
+
+// SetFrequency rescales the core clock (dynamic frequency scaling,
+// Section III-B). Energy accrued so far is banked at the old operating
+// point.
+func (c *Core) SetFrequency(fMHz float64) error {
+	if fMHz < 1 || fMHz > energy.MaxCoreFreqMHz {
+		return fmt.Errorf("xs1: frequency %v MHz outside 1-500", fMHz)
+	}
+	c.bankEnergy()
+	c.cfg.FreqMHz = fMHz
+	c.clk = sim.NewClock(fMHz)
+	return nil
+}
+
+// SetVoltage rescales the supply (the full-DVFS capability the paper
+// attributes to newer xCORE devices; Swallow's board ran a fixed 1 V).
+// Voltages below the experimentally determined VMin for the current
+// frequency are rejected - the silicon would not be stable there.
+func (c *Core) SetVoltage(v float64) error {
+	if v < 0.5 || v > 1.2 {
+		return fmt.Errorf("xs1: VDD %v outside 0.5-1.2", v)
+	}
+	if vmin := energy.VMin(c.cfg.FreqMHz); v < vmin-1e-9 {
+		return fmt.Errorf("xs1: VDD %.3f below VMin(%v MHz) = %.3f", v, c.cfg.FreqMHz, vmin)
+	}
+	c.bankEnergy()
+	c.cfg.VDD = v
+	return nil
+}
+
+// bankEnergy accrues background energy at the current operating point
+// before it changes.
+func (c *Core) bankEnergy() {
+	elapsed := (c.k.Now() - c.accrualStart).Seconds()
+	c.accruedJ += c.BackgroundPowerW() * elapsed
+	c.accrualStart = c.k.Now()
+}
+
+// Halt freezes the core (used by machine teardown).
+func (c *Core) Halt() {
+	c.halted = true
+	if c.issueEv != nil {
+		c.k.Cancel(c.issueEv)
+		c.issueEv = nil
+	}
+}
+
+// --- memory access ---
+
+func (c *Core) loadWord(addr uint32) (uint32, error) {
+	if addr&3 != 0 || int(addr)+4 > MemSize {
+		return 0, fmt.Errorf("bad word load at %#x", addr)
+	}
+	return binary.LittleEndian.Uint32(c.mem[addr:]), nil
+}
+
+func (c *Core) storeWord(addr, v uint32) error {
+	if addr&3 != 0 || int(addr)+4 > MemSize {
+		return fmt.Errorf("bad word store at %#x", addr)
+	}
+	binary.LittleEndian.PutUint32(c.mem[addr:], v)
+	return nil
+}
+
+// ReadWord exposes SRAM for host-side inspection (loaders, tests).
+func (c *Core) ReadWord(addr uint32) (uint32, error) { return c.loadWord(addr) }
+
+// WriteWord pokes SRAM from the host side.
+func (c *Core) WriteWord(addr, v uint32) error { return c.storeWord(addr, v) }
+
+// WriteBytes copies host data into SRAM.
+func (c *Core) WriteBytes(addr uint32, data []byte) error {
+	if int(addr)+len(data) > MemSize {
+		return fmt.Errorf("bad byte store at %#x", addr)
+	}
+	copy(c.mem[addr:], data)
+	return nil
+}
+
+// ReadBytes copies SRAM into a host buffer.
+func (c *Core) ReadBytes(addr uint32, n int) ([]byte, error) {
+	if int(addr)+n > MemSize {
+		return nil, fmt.Errorf("bad byte load at %#x", addr)
+	}
+	out := make([]byte, n)
+	copy(out, c.mem[addr:])
+	return out, nil
+}
+
+// trapThread stops a thread with a diagnostic.
+func (c *Core) trapThread(th *Thread, format string, args ...any) {
+	th.State = TTrapped
+	th.trap = fmt.Errorf(format, args...)
+}
+
+// resolveChanEnd maps a resource-id register value to a channel end on
+// this core; output operations may also target it.
+func (c *Core) resolveChanEnd(th *Thread, rid uint32) (*noc.ChanEnd, bool) {
+	id := noc.ChanEndID(rid)
+	if topo.NodeID(id.Node()) != c.node {
+		c.trapThread(th, "chanend %v not on this core %v", id, c.node)
+		return nil, false
+	}
+	if int(id.Index()) >= c.sw.ChanEndCount() {
+		c.trapThread(th, "chanend index %d out of range", id.Index())
+		return nil, false
+	}
+	return c.sw.ChanEnd(id.Index()), true
+}

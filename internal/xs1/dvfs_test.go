@@ -1,0 +1,112 @@
+package xs1
+
+import (
+	"math"
+	"testing"
+
+	"swallow/internal/energy"
+	"swallow/internal/sim"
+)
+
+func TestSetVoltageGuards(t *testing.T) {
+	r := newRig(t)
+	c, err := NewCore(r.k, r.net.Switch(v00()), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At 500 MHz the minimum stable voltage is 0.95 V.
+	if err := c.SetVoltage(0.90); err == nil {
+		t.Error("0.90 V accepted at 500 MHz (VMin = 0.95)")
+	}
+	if err := c.SetVoltage(0.95); err != nil {
+		t.Errorf("VMin voltage rejected: %v", err)
+	}
+	if err := c.SetVoltage(2.0); err == nil {
+		t.Error("2.0 V accepted")
+	}
+	// After slowing to 71 MHz, 0.6 V becomes legal.
+	if err := c.SetFrequency(71); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetVoltage(0.60); err != nil {
+		t.Errorf("0.60 V rejected at 71 MHz: %v", err)
+	}
+}
+
+func TestVoltageScalingReducesIdlePower(t *testing.T) {
+	r := newRig(t)
+	c, err := NewCore(r.k, r.net.Switch(v00()), Config{FreqMHz: 71, VDD: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.k.RunFor(sim.Millisecond)
+	at1v := c.EnergyJ()
+	if err := c.SetVoltage(0.6); err != nil {
+		t.Fatal(err)
+	}
+	r.k.RunFor(sim.Millisecond)
+	scaledWindow := c.EnergyJ() - at1v
+	// Background at 0.6 V: static*0.6 + idle-dynamic*0.36.
+	want := energy.ScalePowerToVoltage(
+		energy.StaticPowerW, energy.IdleDynamicPerMHzW*71, 0.6) * sim.Millisecond.Seconds()
+	if math.Abs(scaledWindow-want) > want*0.01 {
+		t.Errorf("scaled window energy = %.3g J, want %.3g", scaledWindow, want)
+	}
+	if scaledWindow >= at1v {
+		t.Error("voltage scaling did not reduce energy")
+	}
+}
+
+func TestVoltageBankingAcrossChanges(t *testing.T) {
+	// Energy accrued before an operating-point change must be billed at
+	// the old point.
+	r := newRig(t)
+	c, err := NewCore(r.k, r.net.Switch(v00()), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.k.RunFor(sim.Millisecond)
+	before := c.EnergyJ()
+	wantBefore := energy.CorePowerIdle(500) * sim.Millisecond.Seconds()
+	if math.Abs(before-wantBefore) > wantBefore*1e-6 {
+		t.Fatalf("pre-change energy = %v, want %v", before, wantBefore)
+	}
+	if err := c.SetFrequency(71); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetVoltage(0.6); err != nil {
+		t.Fatal(err)
+	}
+	r.k.RunFor(sim.Millisecond)
+	after := c.EnergyJ()
+	wantWindow := energy.ScalePowerToVoltage(
+		energy.StaticPowerW, energy.IdleDynamicPerMHzW*71, 0.6) * sim.Millisecond.Seconds()
+	if math.Abs((after-before)-wantWindow) > wantWindow*0.01 {
+		t.Errorf("post-change window = %v, want %v", after-before, wantWindow)
+	}
+}
+
+func TestInstrEnergyScalesWithVoltage(t *testing.T) {
+	// The same program at lower VDD bills quadratically less dynamic
+	// energy.
+	run := func(vdd float64) float64 {
+		r := newRig(t)
+		c, err := NewCore(r.k, r.net.Switch(v00()), Config{FreqMHz: 71, VDD: vdd})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Load(MustAssemble("ldc r0, 1000\nloop:\nsubi r0, r0, 1\nbrt r0, loop\ntend")); err != nil {
+			t.Fatal(err)
+		}
+		r.k.RunUntil(10 * sim.Millisecond)
+		if !c.Done() {
+			t.Fatal("program did not finish")
+		}
+		return c.DynamicEnergyJ()
+	}
+	full := run(1.0)
+	scaled := run(0.6)
+	if math.Abs(scaled-full*0.36) > full*0.001 {
+		t.Errorf("dynamic at 0.6 V = %.3g, want %.3g (V^2 scaling)", scaled, full*0.36)
+	}
+}

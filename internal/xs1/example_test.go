@@ -1,0 +1,38 @@
+package xs1_test
+
+import (
+	"fmt"
+	"log"
+
+	"swallow/internal/xs1"
+)
+
+// ExampleAssemble shows the assembler's syntax and the symbol table it
+// produces.
+func ExampleAssemble() {
+	p, err := xs1.Assemble(`
+	start:
+		ldc  r0, @table   ; byte address of the data
+		ldwi r1, r0, 2    ; third word
+		dbg  r1
+		tend
+	table:
+		.word 10, 20, 30
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d words, table at word %d\n", len(p.Words), p.Symbols["table"])
+	// Output: 9 words, table at word 6
+}
+
+// ExampleDisassemble round-trips a fragment.
+func ExampleDisassemble() {
+	p := xs1.MustAssemble("add r1, r2, r3\nret")
+	for _, line := range xs1.Disassemble(p) {
+		fmt.Println(line)
+	}
+	// Output:
+	// 0000: add r1, r2, r3
+	// 0001: ret
+}

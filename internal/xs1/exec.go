@@ -1,0 +1,520 @@
+package xs1
+
+import (
+	"swallow/internal/energy"
+	"swallow/internal/noc"
+	"swallow/internal/sim"
+)
+
+// classOf maps an opcode to its energy class.
+func classOf(op Opcode) energy.InstrClass {
+	switch op {
+	case OpNOP, OpDBG, OpDBGC:
+		return energy.ClassNop
+	case OpMUL:
+		return energy.ClassMul
+	case OpDIVU, OpREMU:
+		return energy.ClassDiv
+	case OpLDW, OpLDWI, OpSTW, OpSTWI, OpLD8, OpST8, OpLD16S, OpST16:
+		return energy.ClassMem
+	case OpBRU, OpBRT, OpBRF, OpBL, OpBAU, OpRET:
+		return energy.ClassBranch
+	case OpGETR, OpFREER, OpSETD, OpOUT, OpIN, OpOUTT, OpINT, OpOUTCT,
+		OpCHKCT, OpGETST, OpTSETR, OpTSTART, OpTEND, OpTJOIN,
+		OpTIME, OpTWAIT, OpGETID, OpGETTID:
+		return energy.ClassComm
+	default:
+		return energy.ClassALU
+	}
+}
+
+// refNow is the 100 MHz reference clock reading.
+func (c *Core) refNow() uint32 {
+	return uint32(c.k.Now() / (10 * sim.Nanosecond))
+}
+
+// blockOnChan parks a thread until the channel end wakes it. The
+// blocked instruction re-issues on wake, so each retry consumes an
+// issue slot exactly as the hardware's event system would replay it.
+func (c *Core) blockOnChan(th *Thread, ce *noc.ChanEnd) {
+	th.State = TBlockedChan
+	th.blockedOn = ce
+	ce.SetWake(func() {
+		if th.State == TBlockedChan && th.blockedOn == ce {
+			c.kickThread(th)
+		}
+	})
+}
+
+// execute runs one instruction of thread th. Blocking instructions
+// leave PC unchanged and park the thread; they re-execute when woken.
+func (c *Core) execute(th *Thread) {
+	w0, err := c.loadWord(th.PC * 4)
+	if err != nil {
+		c.trapThread(th, "instruction fetch: %v", err)
+		return
+	}
+	var w1 uint32
+	if th.PC+1 < MemSize/4 {
+		w1, _ = c.loadWord(th.PC*4 + 4)
+	}
+	in, err := Decode(w0, w1)
+	if err != nil {
+		c.trapThread(th, "decode at %#x: %v", th.PC, err)
+		return
+	}
+	r := &th.Regs
+	next := th.PC + uint32(in.Words())
+	imm := uint32(in.Imm)
+	charge := func() { c.chargeInstr(th, classOf(in.Op)) }
+
+	switch in.Op {
+	case OpNOP:
+		charge()
+	case OpADD:
+		r[in.A] = r[in.B] + r[in.C]
+		charge()
+	case OpSUB:
+		r[in.A] = r[in.B] - r[in.C]
+		charge()
+	case OpAND:
+		r[in.A] = r[in.B] & r[in.C]
+		charge()
+	case OpOR:
+		r[in.A] = r[in.B] | r[in.C]
+		charge()
+	case OpXOR:
+		r[in.A] = r[in.B] ^ r[in.C]
+		charge()
+	case OpSHL:
+		r[in.A] = shiftL(r[in.B], r[in.C])
+		charge()
+	case OpSHR:
+		r[in.A] = shiftR(r[in.B], r[in.C])
+		charge()
+	case OpASHR:
+		if r[in.C] >= 32 {
+			r[in.A] = uint32(int32(r[in.B]) >> 31)
+		} else {
+			r[in.A] = uint32(int32(r[in.B]) >> r[in.C])
+		}
+		charge()
+	case OpMUL:
+		r[in.A] = r[in.B] * r[in.C]
+		charge()
+	case OpDIVU, OpREMU:
+		if r[in.C] == 0 {
+			c.trapThread(th, "divide by zero at %#x", th.PC)
+			return
+		}
+		if in.Op == OpDIVU {
+			r[in.A] = r[in.B] / r[in.C]
+		} else {
+			r[in.A] = r[in.B] % r[in.C]
+		}
+		charge()
+		// The iterative divider stalls only the issuing thread.
+		th.nextReady = c.k.Now() + c.clk.Cycles(DividerCycles)
+	case OpEQ:
+		r[in.A] = b2u(r[in.B] == r[in.C])
+		charge()
+	case OpLSS:
+		r[in.A] = b2u(int32(r[in.B]) < int32(r[in.C]))
+		charge()
+	case OpLSU:
+		r[in.A] = b2u(r[in.B] < r[in.C])
+		charge()
+	case OpNOT:
+		r[in.A] = ^r[in.B]
+		charge()
+	case OpNEG:
+		r[in.A] = -r[in.B]
+		charge()
+
+	case OpLDC:
+		r[in.A] = imm
+		charge()
+	case OpADDI:
+		r[in.A] = r[in.B] + imm
+		charge()
+	case OpSUBI:
+		r[in.A] = r[in.B] - imm
+		charge()
+	case OpSHLI:
+		r[in.A] = shiftL(r[in.B], imm)
+		charge()
+	case OpSHRI:
+		r[in.A] = shiftR(r[in.B], imm)
+		charge()
+	case OpANDI:
+		r[in.A] = r[in.B] & imm
+		charge()
+	case OpORI:
+		r[in.A] = r[in.B] | imm
+		charge()
+	case OpMKMSK:
+		if imm >= 32 {
+			r[in.A] = ^uint32(0)
+		} else {
+			r[in.A] = (1 << imm) - 1
+		}
+		charge()
+
+	case OpLDW, OpLDWI:
+		addr := r[in.B]
+		if in.Op == OpLDW {
+			addr += r[in.C] * 4
+		} else {
+			addr += imm * 4
+		}
+		v, err := c.loadWord(addr)
+		if err != nil {
+			c.trapThread(th, "%v at pc %#x", err, th.PC)
+			return
+		}
+		r[in.A] = v
+		charge()
+	case OpSTW, OpSTWI:
+		addr := r[in.B]
+		if in.Op == OpSTW {
+			addr += r[in.C] * 4
+		} else {
+			addr += imm * 4
+		}
+		if err := c.storeWord(addr, r[in.A]); err != nil {
+			c.trapThread(th, "%v at pc %#x", err, th.PC)
+			return
+		}
+		charge()
+	case OpLD8:
+		addr := r[in.B] + r[in.C]
+		if int(addr) >= MemSize {
+			c.trapThread(th, "bad byte load at %#x", addr)
+			return
+		}
+		r[in.A] = uint32(c.mem[addr])
+		charge()
+	case OpST8:
+		addr := r[in.B] + r[in.C]
+		if int(addr) >= MemSize {
+			c.trapThread(th, "bad byte store at %#x", addr)
+			return
+		}
+		c.mem[addr] = byte(r[in.A])
+		charge()
+	case OpLD16S:
+		addr := r[in.B] + r[in.C]*2
+		if addr&1 != 0 || int(addr)+2 > MemSize {
+			c.trapThread(th, "bad halfword load at %#x", addr)
+			return
+		}
+		v := uint32(c.mem[addr]) | uint32(c.mem[addr+1])<<8
+		r[in.A] = uint32(int32(v<<16) >> 16)
+		charge()
+	case OpST16:
+		addr := r[in.B] + r[in.C]*2
+		if addr&1 != 0 || int(addr)+2 > MemSize {
+			c.trapThread(th, "bad halfword store at %#x", addr)
+			return
+		}
+		c.mem[addr] = byte(r[in.A])
+		c.mem[addr+1] = byte(r[in.A] >> 8)
+		charge()
+
+	case OpBRU:
+		charge()
+		th.PC = imm
+		return
+	case OpBRT:
+		charge()
+		if r[in.A] != 0 {
+			th.PC = imm
+			return
+		}
+	case OpBRF:
+		charge()
+		if r[in.A] == 0 {
+			th.PC = imm
+			return
+		}
+	case OpBL:
+		charge()
+		r[RegLR] = next
+		th.PC = imm
+		return
+	case OpBAU:
+		charge()
+		// BAU takes a byte address, as labels materialised via '@' are.
+		if r[in.A]&3 != 0 {
+			c.trapThread(th, "misaligned branch target %#x", r[in.A])
+			return
+		}
+		th.PC = r[in.A] >> 2
+		return
+	case OpRET:
+		charge()
+		th.PC = r[RegLR]
+		return
+
+	case OpGETST:
+		id := c.allocThread(imm)
+		if id < 0 {
+			c.trapThread(th, "no free hardware thread")
+			return
+		}
+		r[in.A] = uint32(id)
+		charge()
+	case OpTSETR:
+		tid := int(r[in.A])
+		if tid < 0 || tid >= MaxThreads || c.threads[tid].State != TPaused {
+			c.trapThread(th, "tsetr of thread %d in state %v", tid, c.threads[tid&7].State)
+			return
+		}
+		if imm >= NumRegs {
+			c.trapThread(th, "tsetr register %d out of range", imm)
+			return
+		}
+		c.threads[tid].Regs[imm] = r[in.B]
+		charge()
+	case OpTSTART:
+		tid := int(r[in.A])
+		if tid < 0 || tid >= MaxThreads || c.threads[tid].State != TPaused {
+			c.trapThread(th, "tstart of thread %d not paused", tid)
+			return
+		}
+		c.threads[tid].State = TReady
+		c.threads[tid].nextReady = c.k.Now()
+		charge()
+	case OpTEND:
+		charge()
+		th.State = TDone
+		c.wakeJoiners(th.ID)
+		return
+	case OpTJOIN:
+		tid := int(r[in.A])
+		if tid < 0 || tid >= MaxThreads {
+			c.trapThread(th, "tjoin of bad thread %d", tid)
+			return
+		}
+		switch c.threads[tid].State {
+		case TDone, TFree:
+			charge()
+		default:
+			charge()
+			th.State = TBlockedJoin
+			th.joinTarget = tid
+			return
+		}
+
+	case OpGETR:
+		switch imm {
+		case ResTypeChanEnd:
+			ce := c.sw.AllocChanEnd()
+			if ce == nil {
+				c.trapThread(th, "out of channel ends")
+				return
+			}
+			r[in.A] = uint32(ce.ID())
+			charge()
+		case ResTypeTimer:
+			idx := -1
+			for i, used := range c.timerAlloc {
+				if !used {
+					idx = i
+					break
+				}
+			}
+			if idx < 0 {
+				c.trapThread(th, "out of timers")
+				return
+			}
+			c.timerAlloc[idx] = true
+			r[in.A] = uint32(timerResourceTag | idx)
+			charge()
+		default:
+			c.trapThread(th, "getr of unknown resource type %d", imm)
+			return
+		}
+	case OpFREER:
+		rid := r[in.A]
+		if rid&timerResourceTag != 0 {
+			idx := int(rid &^ timerResourceTag)
+			if idx < MaxThreads {
+				c.timerAlloc[idx] = false
+			}
+			charge()
+			break
+		}
+		ce, ok := c.resolveChanEnd(th, rid)
+		if !ok {
+			return
+		}
+		ce.Free()
+		charge()
+	case OpSETD:
+		ce, ok := c.resolveChanEnd(th, r[in.A])
+		if !ok {
+			return
+		}
+		ce.SetDest(noc.ChanEndID(r[in.B]))
+		charge()
+	case OpOUT:
+		ce, ok := c.resolveChanEnd(th, r[in.A])
+		if !ok {
+			return
+		}
+		if !ce.OutWord(r[in.B]) {
+			c.blockOnChan(th, ce)
+			return
+		}
+		charge()
+	case OpIN:
+		ce, ok := c.resolveChanEnd(th, r[in.A])
+		if !ok {
+			return
+		}
+		v, ok2 := ce.InWord()
+		if !ok2 {
+			c.blockOnChan(th, ce)
+			return
+		}
+		r[in.B] = v
+		charge()
+	case OpOUTT:
+		ce, ok := c.resolveChanEnd(th, r[in.A])
+		if !ok {
+			return
+		}
+		if !ce.TryOut(noc.DataToken(byte(r[in.B]))) {
+			c.blockOnChan(th, ce)
+			return
+		}
+		charge()
+	case OpINT:
+		ce, ok := c.resolveChanEnd(th, r[in.A])
+		if !ok {
+			return
+		}
+		tok, ok2 := ce.TryIn()
+		if !ok2 {
+			c.blockOnChan(th, ce)
+			return
+		}
+		if tok.Ctrl {
+			c.trapThread(th, "INT received control token %v", tok)
+			return
+		}
+		r[in.B] = uint32(tok.Val)
+		charge()
+	case OpOUTCT:
+		ce, ok := c.resolveChanEnd(th, r[in.A])
+		if !ok {
+			return
+		}
+		if !ce.TryOut(noc.CtrlToken(byte(imm))) {
+			c.blockOnChan(th, ce)
+			return
+		}
+		charge()
+	case OpCHKCT:
+		ce, ok := c.resolveChanEnd(th, r[in.A])
+		if !ok {
+			return
+		}
+		tok, ok2 := ce.PeekIn()
+		if !ok2 {
+			c.blockOnChan(th, ce)
+			return
+		}
+		if !tok.Ctrl || tok.Val != byte(imm) {
+			c.trapThread(th, "CHKCT %d saw %v", imm, tok)
+			return
+		}
+		ce.TryIn()
+		charge()
+
+	case OpTIME:
+		r[in.A] = c.refNow()
+		charge()
+	case OpTWAIT:
+		deadline := r[in.A]
+		if int32(deadline-c.refNow()) > 0 {
+			charge()
+			th.State = TBlockedTime
+			when := c.k.Now() + sim.Time(int32(deadline-c.refNow()))*10*sim.Nanosecond
+			c.k.At(when, func() {
+				if th.State == TBlockedTime {
+					c.kickThread(th)
+				}
+			})
+			// TWAIT completes when the deadline passes; PC advances now
+			// so the wake resumes after it.
+			th.PC = next
+			return
+		}
+		charge()
+	case OpGETID:
+		r[in.A] = uint32(c.node)
+		charge()
+	case OpGETTID:
+		r[in.A] = uint32(th.ID)
+		charge()
+
+	case OpDBG:
+		c.DebugTrace = append(c.DebugTrace, r[in.A])
+		charge()
+	case OpDBGC:
+		c.Console = append(c.Console, byte(r[in.A]))
+		charge()
+
+	default:
+		c.trapThread(th, "unimplemented opcode %v", in.Op)
+		return
+	}
+	th.PC = next
+}
+
+// allocThread grabs a free hardware thread, paused at pc.
+func (c *Core) allocThread(pc uint32) int {
+	for i := range c.threads {
+		if c.threads[i].State == TFree {
+			t := &c.threads[i]
+			*t = Thread{ID: i, State: TPaused, PC: pc}
+			c.rr = append(c.rr, i)
+			return i
+		}
+	}
+	return -1
+}
+
+// wakeJoiners readies threads joined on a halted thread.
+func (c *Core) wakeJoiners(tid int) {
+	for i := range c.threads {
+		t := &c.threads[i]
+		if t.State == TBlockedJoin && t.joinTarget == tid {
+			t.State = TReady
+			c.scheduleIssue(c.alignUp(c.k.Now()))
+		}
+	}
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func shiftL(v, n uint32) uint32 {
+	if n >= 32 {
+		return 0
+	}
+	return v << n
+}
+
+func shiftR(v, n uint32) uint32 {
+	if n >= 32 {
+		return 0
+	}
+	return v >> n
+}
