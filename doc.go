@@ -2,15 +2,32 @@
 // Swallow many-core embedded platform (Hollis & Kerrison, DATE 2016),
 // built from scratch in pure-stdlib Go.
 //
-// The simulator reproduces the platform bottom-up: the XS1-L
-// instruction-set and pipeline model (internal/xs1), the five-wire
-// token network with wormhole switches and credit flow control
-// (internal/noc), the slice boards and unwoven-lattice topology
-// (internal/topo), the calibrated energy and power models
-// (internal/energy), the shunt/ADC measurement subsystem
-// (internal/power), the machine assembly (internal/core), the nOS
-// loader (internal/nos), the Ethernet bridge (internal/bridge), and
-// workload generators (internal/workload). internal/experiments
-// regenerates every table and figure of the paper; the benchmarks in
-// bench_test.go and the cmd/ tools are thin wrappers around it.
+// # Layer map
+//
+// Everything stacks on the discrete-event kernel and flows upward:
+//
+//	internal/sim          event kernel (ladder queue, reusable Timers), clocks
+//	internal/topo         unwoven-lattice topology and routing
+//	internal/energy       calibrated per-instruction and per-bit energy models
+//	internal/xs1          XS1-L ISA, pipeline and hardware threads
+//	internal/noc          five-wire token links, wormhole switches, channel ends
+//	internal/power        shunt/amplifier/ADC measurement subsystem
+//	internal/core         machine assembly: cores + network + power tree
+//	internal/nos          network boot loader
+//	internal/bridge       Ethernet bridge module
+//	internal/workload     host-driven flows and benchmark programs
+//	internal/experiments  regenerates every table and figure of the paper
+//
+// The benchmarks in bench_test.go and the cmd/ tools are thin wrappers
+// around internal/experiments.
+//
+// # Scheduling
+//
+// The kernel offers two APIs over one deterministic (time, seq) FIFO
+// queue. Kernel.At/After allocate a single-use event per call and suit
+// setup code and tests. Hot paths — instruction issue, link pumps,
+// channel-end wakes, ADC ticks — use sim.Timer: allocated once with the
+// callback bound at construction, then armed, re-armed and disarmed
+// forever without allocating. See internal/sim and README.md for the
+// Timer contract.
 package swallow

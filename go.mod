@@ -1,0 +1,3 @@
+module swallow
+
+go 1.24

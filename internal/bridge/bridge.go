@@ -40,13 +40,13 @@ type Bridge struct {
 	sendQ   []outMsg
 	inMsg   int // bytes of head message already emitted
 	nextTx  sim.Time
-	txArmed bool
+	txTimer *sim.Timer
 
 	// Egress (network to host): completed frames, END-delimited.
 	frames  [][]byte
 	current []byte
 	nextRx  sim.Time
-	rxArmed bool
+	rxTimer *sim.Timer
 
 	// Stats.
 	BytesIn, BytesOut uint64
@@ -81,6 +81,8 @@ func New(k *sim.Kernel, net *noc.Network, node topo.NodeID) (*Bridge, error) {
 	}
 	b.rx.SetWake(b.pumpRx)
 	b.tx.SetWake(b.pumpTx)
+	b.txTimer = k.NewTimer(b.pumpTx)
+	b.rxTimer = k.NewTimer(b.pumpRx)
 	return b, nil
 }
 
@@ -122,14 +124,10 @@ func (b *Bridge) Frames() [][]byte {
 }
 
 func (b *Bridge) armTx(t sim.Time) {
-	if b.txArmed {
+	if b.txTimer.Armed() {
 		return
 	}
-	b.txArmed = true
-	b.k.At(maxTime(t, b.k.Now()), func() {
-		b.txArmed = false
-		b.pumpTx()
-	})
+	b.txTimer.ArmAt(maxTime(t, b.k.Now()))
 }
 
 // pumpTx emits one byte (or the closing END) per pacing interval.
@@ -166,14 +164,10 @@ func (b *Bridge) pumpTx() {
 }
 
 func (b *Bridge) armRx(t sim.Time) {
-	if b.rxArmed {
+	if b.rxTimer.Armed() {
 		return
 	}
-	b.rxArmed = true
-	b.k.At(maxTime(t, b.k.Now()), func() {
-		b.rxArmed = false
-		b.pumpRx()
-	})
+	b.rxTimer.ArmAt(maxTime(t, b.k.Now()))
 }
 
 // pumpRx consumes arriving tokens at the Ethernet-side rate.

@@ -35,9 +35,15 @@ type ChanEnd struct {
 	// spaceWaiters are streams stalled on a full receive buffer.
 	spaceWaiters []*inPort
 
-	// wake is invoked (as a fresh kernel event) when progress becomes
-	// possible: tokens arrived, or output space freed.
-	wake func()
+	// wake is invoked when progress becomes possible: tokens arrived,
+	// or output space freed. wakeTimer carries the firing; it reads the
+	// current wake at fire time, so SetWake needs no rescheduling.
+	wake      func()
+	wakeTimer *sim.Timer
+
+	// injectTimer kicks the injection port after the core-to-network
+	// latency; one pending kick covers every token pushed before it.
+	injectTimer *sim.Timer
 
 	// Stats.
 	TokensIn  uint64
@@ -49,6 +55,12 @@ func newChanEnd(sw *Switch, idx uint8) *ChanEnd {
 	// The output FIFO must hold a full header plus a word so a single
 	// OUT instruction never deadlocks half-injected.
 	ce.src = newChanInPort(ce, sw.net.Cfg.ChanEndBuffer+HeaderTokens+1)
+	ce.wakeTimer = sw.net.K.NewTimer(func() {
+		if fn := ce.wake; fn != nil {
+			fn()
+		}
+	})
+	ce.injectTimer = sw.net.K.NewTimer(ce.src.process)
 	return ce
 }
 
@@ -123,8 +135,10 @@ func (ce *ChanEnd) TryOut(tok Token) bool {
 	if tok.ClosesRoute() {
 		ce.routeOpen = false
 	}
-	// The core-to-network interface adds a few cycles of latency.
-	ce.sw.net.K.After(ce.sw.net.Cfg.InjectLatency, ce.src.process)
+	// The core-to-network interface adds a few cycles of latency. Tokens
+	// are already in the FIFO, so the earliest pending kick serves them
+	// all.
+	ce.injectTimer.ArmEarliest(ce.sw.net.K.Now() + ce.sw.net.Cfg.InjectLatency)
 	return true
 }
 
@@ -233,10 +247,12 @@ func (ce *ChanEnd) releaseLocal() {
 
 func (ce *ChanEnd) scheduleWake() { ce.scheduleWakeAfter(0) }
 
+// scheduleWakeAfter coalesces progress notifications: the state a later
+// wake would observe is already visible to the earliest pending one, and
+// every further state change schedules a wake of its own.
 func (ce *ChanEnd) scheduleWakeAfter(d sim.Time) {
-	fn := ce.wake
-	if fn == nil {
+	if ce.wake == nil {
 		return
 	}
-	ce.sw.net.K.After(d, fn)
+	ce.wakeTimer.ArmEarliest(ce.sw.net.K.Now() + d)
 }

@@ -3,6 +3,7 @@ package noc
 import (
 	"fmt"
 
+	"swallow/internal/sim"
 	"swallow/internal/topo"
 )
 
@@ -38,8 +39,8 @@ type inPort struct {
 	out          *Link
 	localDst     *ChanEnd
 
-	// processArmed coalesces re-entrant process() nudges.
-	processArmed bool
+	// nudgeTimer coalesces re-entrant process() nudges.
+	nudgeTimer *sim.Timer
 
 	// DroppedTokens counts protocol errors (control tokens arriving
 	// where a header byte was expected).
@@ -47,17 +48,21 @@ type inPort struct {
 }
 
 func newLinkInPort(sw *Switch, name string, capacity int) *inPort {
-	return &inPort{sw: sw, name: name, cap: capacity, hdrNeed: HeaderTokens}
+	p := &inPort{sw: sw, name: name, cap: capacity, hdrNeed: HeaderTokens}
+	p.nudgeTimer = sw.net.K.NewTimer(p.process)
+	return p
 }
 
 func newChanInPort(ce *ChanEnd, capacity int) *inPort {
-	return &inPort{
+	p := &inPort{
 		sw:      ce.sw,
 		name:    ce.ID().String() + "-tx",
 		cap:     capacity,
 		srcChan: ce,
 		hdrNeed: HeaderTokens,
 	}
+	p.nudgeTimer = ce.sw.net.K.NewTimer(p.process)
+	return p
 }
 
 func (p *inPort) String() string { return fmt.Sprintf("inport %s", p.name) }
@@ -97,17 +102,13 @@ func (p *inPort) consume() Token {
 	return tok
 }
 
-// nudge schedules a process pass as a fresh kernel event, breaking
+// nudge schedules a process pass as a kernel event, breaking
 // re-entrancy when one component pokes another.
 func (p *inPort) nudge() {
-	if p.processArmed {
+	if p.nudgeTimer.Armed() {
 		return
 	}
-	p.processArmed = true
-	p.sw.net.K.After(0, func() {
-		p.processArmed = false
-		p.process()
-	})
+	p.nudgeTimer.ArmAt(p.sw.net.K.Now())
 }
 
 // process advances the stream state machine as far as it can.

@@ -126,15 +126,36 @@ type Link struct {
 
 	credits     int
 	busyUntil   sim.Time
-	pumpArmed   bool
 	hopLatency  sim.Time
 	energyPerBt float64
+
+	// pumpTimer drives transmission attempts; it re-arms forever.
+	pumpTimer *sim.Timer
+
+	// In-flight tokens ride a per-link FIFO instead of per-token
+	// closure events: transmissions serialize, so arrival times are
+	// nondecreasing and one timer walks the queue head.
+	deliv      []delivery
+	delivHead  int
+	delivTimer *sim.Timer
+
+	// Returning credits are the same shape: constant reverse-wire delay
+	// from nondecreasing consume times.
+	creditQ     []sim.Time
+	creditHead  int
+	creditTimer *sim.Timer
 
 	Stats LinkStats
 }
 
+// delivery is one token in flight toward the destination port.
+type delivery struct {
+	at  sim.Time
+	tok Token
+}
+
 func newLink(k *sim.Kernel, name string, class energy.LinkClass, timing LinkTiming, credits int) *Link {
-	return &Link{
+	l := &Link{
 		name:        name,
 		class:       class,
 		timing:      timing,
@@ -142,6 +163,10 @@ func newLink(k *sim.Kernel, name string, class energy.LinkClass, timing LinkTimi
 		credits:     credits,
 		energyPerBt: energy.LinkEnergyPerBit(class),
 	}
+	l.pumpTimer = k.NewTimer(l.pump)
+	l.delivTimer = k.NewTimer(l.deliverDue)
+	l.creditTimer = k.NewTimer(l.creditsDue)
+	return l
 }
 
 // Class reports the physical class of the link.
@@ -172,7 +197,7 @@ func (l *Link) claim(p *inPort) {
 // its owner stream has a token ready, transmit one token and schedule
 // the next attempt.
 func (l *Link) pump() {
-	if l.pumpArmed {
+	if l.pumpTimer.Armed() {
 		return
 	}
 	now := l.k.Now()
@@ -211,29 +236,78 @@ func (l *Link) pump() {
 			l.outPort.released(l)
 		}
 	}
-	dst := l.dst
-	l.k.At(l.busyUntil+l.hopLatency, func() {
-		dst.receive(tok, l)
-	})
+	l.scheduleDelivery(l.busyUntil+l.hopLatency, tok)
 	l.armAt(l.busyUntil)
 }
 
 func (l *Link) armAt(t sim.Time) {
-	if l.pumpArmed {
+	if l.pumpTimer.Armed() {
 		return
 	}
-	l.pumpArmed = true
-	l.k.At(t, func() {
-		l.pumpArmed = false
-		l.pump()
-	})
+	l.pumpTimer.ArmAt(t)
+}
+
+// scheduleDelivery queues a transmitted token for arrival at the
+// destination port.
+func (l *Link) scheduleDelivery(at sim.Time, tok Token) {
+	l.deliv = append(l.deliv, delivery{at: at, tok: tok})
+	if !l.delivTimer.Armed() {
+		l.delivTimer.ArmAt(at)
+	}
+}
+
+// deliverDue hands every arrived token to the destination port and
+// re-arms for the next one in flight.
+func (l *Link) deliverDue() {
+	for l.delivHead < len(l.deliv) && l.deliv[l.delivHead].at <= l.k.Now() {
+		d := l.deliv[l.delivHead]
+		l.deliv[l.delivHead] = delivery{}
+		l.delivHead++
+		l.dst.receive(d.tok, l)
+	}
+	if l.delivHead == len(l.deliv) {
+		l.deliv = l.deliv[:0]
+		l.delivHead = 0
+	} else {
+		// A saturated link never fully drains, so shift-compact once the
+		// consumed prefix dominates to keep the queue at in-flight size.
+		if l.delivHead > len(l.deliv)/2 {
+			n := copy(l.deliv, l.deliv[l.delivHead:])
+			clear(l.deliv[n:])
+			l.deliv = l.deliv[:n]
+			l.delivHead = 0
+		}
+		l.delivTimer.ArmAt(l.deliv[l.delivHead].at)
+	}
 }
 
 // returnCredit is called by the receiving port when a buffered token is
-// consumed, after the reverse-wire propagation delay.
+// consumed; the credit lands after the reverse-wire propagation delay.
 func (l *Link) returnCredit() {
-	l.k.After(l.timing.TokenTime(), func() {
+	at := l.k.Now() + l.timing.TokenTime()
+	l.creditQ = append(l.creditQ, at)
+	if !l.creditTimer.Armed() {
+		l.creditTimer.ArmAt(at)
+	}
+}
+
+// creditsDue banks every credit whose reverse-wire delay has elapsed and
+// restarts transmission.
+func (l *Link) creditsDue() {
+	for l.creditHead < len(l.creditQ) && l.creditQ[l.creditHead] <= l.k.Now() {
+		l.creditHead++
 		l.credits++
-		l.pump()
-	})
+	}
+	if l.creditHead == len(l.creditQ) {
+		l.creditQ = l.creditQ[:0]
+		l.creditHead = 0
+	} else {
+		if l.creditHead > len(l.creditQ)/2 {
+			n := copy(l.creditQ, l.creditQ[l.creditHead:])
+			l.creditQ = l.creditQ[:n]
+			l.creditHead = 0
+		}
+		l.creditTimer.ArmAt(l.creditQ[l.creditHead])
+	}
+	l.pump()
 }

@@ -215,10 +215,16 @@ type Trace struct {
 	// Samples accumulates readings in time order.
 	Samples []Sample
 	stopped bool
+	tick    *sim.Timer
 }
 
-// Stop ends the session after the in-flight sample.
-func (t *Trace) Stop() { t.stopped = true }
+// Stop ends the session, disarming the pending sample.
+func (t *Trace) Stop() {
+	t.stopped = true
+	if t.tick != nil {
+		t.tick.Disarm()
+	}
+}
 
 // StartTrace samples all channels periodically at rateHz. Rates beyond
 // the daughter-board's capability are rejected: 2 MS/s applies to a
@@ -236,19 +242,20 @@ func (b *Board) StartTrace(rateHz float64, n int) (*Trace, error) {
 	}
 	tr := &Trace{}
 	period := sim.Time(1e12 / rateHz)
-	var tick func()
 	remaining := n
-	tick = func() {
+	// One timer carries the whole session: each tick re-arms it, so a
+	// trace costs one allocation regardless of sample count.
+	tr.tick = b.k.NewTimer(func() {
 		if tr.stopped {
 			return
 		}
 		tr.Samples = append(tr.Samples, b.SampleAll())
 		remaining--
 		if remaining > 0 {
-			b.k.After(period, tick)
+			tr.tick.ArmAfter(period)
 		}
-	}
-	b.k.After(period, tick)
+	})
+	tr.tick.ArmAfter(period)
 	return tr, nil
 }
 

@@ -1,0 +1,391 @@
+package sim
+
+import "fmt"
+
+// The kernel's pending-event store is a two-tier ladder queue tuned for
+// the simulator's traffic profile: almost every event is scheduled a few
+// core cycles ahead (instruction issue, link symbol times, switch
+// latencies), with a thin tail of far-future work (power-trace ticks,
+// TWAIT deadlines).
+//
+//   - The near tier is a ring of buckets, each covering one quantum of
+//     2^quantumShift ps (~one 500 MHz core cycle). Insertion is an O(1)
+//     append; a bucket is sorted once, when it becomes current.
+//   - The far tier is a conventional binary min-heap holding everything
+//     beyond the ring's horizon. When the near tier drains, the wheel is
+//     rebased onto the heap's minimum and the horizon's worth of events
+//     migrates back in.
+//
+// Ordering is the exact (time, seq) contract of the original heap
+// kernel: seq increases with every registration, so equal-time events
+// fire in registration order, and the two tiers merge by the same key.
+// Cancellation is lazy: a registration is invalidated in O(1) and its
+// slot skipped when encountered, which is what lets a Timer re-arm
+// without touching the queue structure it was filed in.
+
+const (
+	// quantumShift sets the bucket width: 2048 ps, about one cycle at
+	// the 500 MHz operating point.
+	quantumShift = 11
+	quantum      = Time(1) << quantumShift
+	numBuckets   = 256
+	bucketMask   = numBuckets - 1
+	// wheelSpan is the near-tier horizon (~524 ns).
+	wheelSpan = quantum * numBuckets
+)
+
+// slot is one registration in the queue. ev's (armed, seq) pair decides
+// whether the slot is still live when it surfaces.
+type slot struct {
+	when Time
+	seq  uint64
+	ev   *Event
+}
+
+// before reports whether a fires before b under the (time, seq) order.
+func (a slot) before(b slot) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+// live reports whether the slot is the current registration of its event.
+func (s slot) live() bool { return s.ev.armed && s.ev.seq == s.seq }
+
+// Event is a scheduled callback. Events with equal timestamps fire in
+// the order they were scheduled (FIFO), which keeps the kernel
+// deterministic. Events returned by At/After are single-use; a Timer
+// wraps an Event that re-arms without allocating.
+type Event struct {
+	when Time
+	seq  uint64
+	fn   func()
+	// armed marks a pending registration; seq identifies it among any
+	// stale slots left behind by cancels and re-arms.
+	armed bool
+	// far records which tier holds the current registration.
+	far bool
+}
+
+// When reports the time the event is scheduled to fire.
+func (e *Event) When() Time { return e.when }
+
+// Kernel is a single-threaded discrete-event scheduler.
+//
+// The zero value is not ready to use; call NewKernel.
+type Kernel struct {
+	now    Time
+	seq    uint64
+	fired  uint64
+	halted bool
+
+	// cur is the current bucket, sorted, drained from curHead.
+	cur     []slot
+	curHead int
+	// wheel holds the near-future buckets, unsorted. cur stands in for
+	// the bucket at wheelPos; wheelTime is the start of its quantum.
+	wheel     [numBuckets][]slot
+	wheelPos  int
+	wheelTime Time
+	// overflow is the far tier, a min-heap by (when, seq).
+	overflow []slot
+
+	// liveNear/liveFar count armed registrations per tier.
+	liveNear int
+	liveFar  int
+}
+
+// NewKernel returns a kernel with the clock at zero.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Now reports the current simulation time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Fired reports the number of events executed so far.
+func (k *Kernel) Fired() uint64 { return k.fired }
+
+// Pending reports the number of events waiting in the queue.
+func (k *Kernel) Pending() int { return k.liveNear + k.liveFar }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is a
+// programming error and panics: the kernel cannot rewind the clock.
+func (k *Kernel) At(t Time, fn func()) *Event {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: event scheduled at %v before now %v", t, k.now))
+	}
+	ev := &Event{when: t, seq: k.seq, fn: fn, armed: true}
+	k.seq++
+	k.insert(slot{when: t, seq: ev.seq, ev: ev})
+	return ev
+}
+
+// After schedules fn to run d picoseconds after the current time.
+func (k *Kernel) After(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	return k.At(k.now+d, fn)
+}
+
+// Cancel removes a pending event. Cancelling an event that already fired
+// (or was already cancelled) is a no-op and reports false.
+func (k *Kernel) Cancel(ev *Event) bool {
+	if ev == nil || !ev.armed {
+		return false
+	}
+	ev.armed = false
+	if ev.far {
+		k.liveFar--
+	} else {
+		k.liveNear--
+	}
+	return true
+}
+
+// insert files a registration into the tier its timestamp selects.
+func (k *Kernel) insert(s slot) {
+	off := (s.when - k.wheelTime) >> quantumShift
+	switch {
+	case off <= 0:
+		// Current quantum (or, after a RunUntil jump left wheelTime
+		// ahead of now, earlier): sorted insert into the live bucket.
+		k.insertCur(s)
+		k.liveNear++
+		s.ev.far = false
+	case off < numBuckets:
+		i := (k.wheelPos + int(off)) & bucketMask
+		k.wheel[i] = append(k.wheel[i], s)
+		k.liveNear++
+		s.ev.far = false
+	default:
+		k.heapPush(s)
+		k.liveFar++
+		s.ev.far = true
+	}
+}
+
+// insertCur places s into the sorted current bucket. New registrations
+// are never earlier than anything already fired, so the insertion point
+// is at or after curHead.
+func (k *Kernel) insertCur(s slot) {
+	lo, hi := k.curHead, len(k.cur)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.before(k.cur[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	k.cur = append(k.cur, slot{})
+	copy(k.cur[lo+1:], k.cur[lo:])
+	k.cur[lo] = s
+}
+
+// advanceNear positions curHead on the earliest live near-tier slot,
+// stepping and sorting wheel buckets as needed. It reports false when
+// the near tier holds no live registrations.
+func (k *Kernel) advanceNear() bool {
+	if k.liveNear == 0 {
+		return false
+	}
+	for {
+		for k.curHead < len(k.cur) {
+			if k.cur[k.curHead].live() {
+				return true
+			}
+			k.curHead++ // stale registration
+		}
+		// Bucket drained: recycle it and pull in the next non-empty one.
+		clear(k.cur)
+		k.cur = k.cur[:0]
+		k.curHead = 0
+		for {
+			k.wheelPos = (k.wheelPos + 1) & bucketMask
+			k.wheelTime += quantum
+			if len(k.wheel[k.wheelPos]) > 0 {
+				break
+			}
+		}
+		k.cur, k.wheel[k.wheelPos] = k.wheel[k.wheelPos], k.cur
+		sortSlots(k.cur)
+	}
+}
+
+// pruneOverflow discards stale registrations from the heap top.
+func (k *Kernel) pruneOverflow() {
+	for len(k.overflow) > 0 && !k.overflow[0].live() {
+		k.heapPop()
+	}
+}
+
+// rebase jumps the empty wheel onto the earliest far event and migrates
+// everything within the new horizon back into the near tier.
+func (k *Kernel) rebase() {
+	clear(k.cur)
+	k.cur = k.cur[:0]
+	k.curHead = 0
+	k.wheelTime = k.overflow[0].when &^ (quantum - 1)
+	for len(k.overflow) > 0 && k.overflow[0].when < k.wheelTime+wheelSpan {
+		s := k.heapPop()
+		if !s.live() {
+			continue
+		}
+		k.liveFar--
+		k.insert(s)
+	}
+}
+
+// popNext removes and returns the earliest live registration, merging
+// the two tiers by (time, seq). The registration is marked consumed.
+func (k *Kernel) popNext() (slot, bool) {
+	for {
+		near := k.advanceNear()
+		k.pruneOverflow()
+		far := len(k.overflow) > 0
+		if near {
+			if far && k.overflow[0].before(k.cur[k.curHead]) {
+				s := k.heapPop()
+				s.ev.armed = false
+				k.liveFar--
+				return s, true
+			}
+			s := k.cur[k.curHead]
+			k.cur[k.curHead] = slot{}
+			k.curHead++
+			s.ev.armed = false
+			k.liveNear--
+			return s, true
+		}
+		if !far {
+			return slot{}, false
+		}
+		k.rebase()
+	}
+}
+
+// peekWhen reports the timestamp of the earliest pending event.
+func (k *Kernel) peekWhen() (Time, bool) {
+	for {
+		near := k.advanceNear()
+		k.pruneOverflow()
+		far := len(k.overflow) > 0
+		if near {
+			t := k.cur[k.curHead].when
+			if far && k.overflow[0].when < t {
+				t = k.overflow[0].when
+			}
+			return t, true
+		}
+		if far {
+			k.rebase()
+			continue
+		}
+		return 0, false
+	}
+}
+
+// Halt stops the current Run/RunUntil call after the in-flight event
+// completes. Pending events remain queued.
+func (k *Kernel) Halt() { k.halted = true }
+
+// Step executes the single next event, advancing the clock to its
+// timestamp. It reports false when the queue is empty.
+func (k *Kernel) Step() bool {
+	s, ok := k.popNext()
+	if !ok {
+		return false
+	}
+	k.now = s.when
+	k.fired++
+	s.ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains or Halt is called.
+func (k *Kernel) Run() {
+	k.halted = false
+	for !k.halted && k.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then sets the
+// clock to the deadline (even if no event fired exactly there). Events
+// scheduled beyond the deadline stay queued.
+func (k *Kernel) RunUntil(deadline Time) {
+	k.halted = false
+	for !k.halted {
+		t, ok := k.peekWhen()
+		if !ok || t > deadline {
+			break
+		}
+		k.Step()
+	}
+	if !k.halted && k.now < deadline {
+		k.now = deadline
+	}
+}
+
+// RunFor advances the clock by d, executing everything due in the window.
+func (k *Kernel) RunFor(d Time) { k.RunUntil(k.now + d) }
+
+// sortSlots orders a bucket by (time, seq). Buckets span one quantum
+// and arrive mostly in registration order, so insertion sort beats the
+// generic sort and allocates nothing.
+func sortSlots(s []slot) {
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && v.before(s[j]) {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+}
+
+// heapPush files s into the far-tier min-heap.
+func (k *Kernel) heapPush(s slot) {
+	h := append(k.overflow, s)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h[i].before(h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	k.overflow = h
+}
+
+// heapPop removes and returns the far-tier minimum.
+func (k *Kernel) heapPop() slot {
+	h := k.overflow
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = slot{}
+	h = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n && h[r].before(h[l]) {
+			c = r
+		}
+		if !h[c].before(h[i]) {
+			break
+		}
+		h[i], h[c] = h[c], h[i]
+		i = c
+	}
+	k.overflow = h
+	return top
+}

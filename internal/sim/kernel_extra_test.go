@@ -1,0 +1,188 @@
+package sim
+
+import "testing"
+
+func TestKernelCancelAlreadyFired(t *testing.T) {
+	k := NewKernel()
+	ev := k.At(10, func() {})
+	k.Run()
+	if k.Cancel(ev) {
+		t.Error("Cancel of already-fired event reported true")
+	}
+}
+
+func TestKernelRunUntilEmptyWindow(t *testing.T) {
+	// RunUntil across a window with no events still advances the clock,
+	// and events scheduled after the jump fire in order — including ones
+	// earlier than the wheel position the peek left behind.
+	k := NewKernel()
+	var got []Time
+	k.At(10, func() { got = append(got, k.Now()) })
+	k.At(5*wheelSpan, func() { got = append(got, k.Now()) })
+	k.RunUntil(2 * wheelSpan) // fires 10, clock lands mid-gap
+	if k.Now() != 2*wheelSpan {
+		t.Fatalf("Now = %v, want %v", k.Now(), 2*wheelSpan)
+	}
+	// Schedule between the deadline and the far pending event.
+	k.At(3*wheelSpan, func() { got = append(got, k.Now()) })
+	k.At(k.Now()+1, func() { got = append(got, k.Now()) })
+	k.Run()
+	want := []Time{10, 2*wheelSpan + 1, 3 * wheelSpan, 5 * wheelSpan}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}
+
+func TestKernelHorizonBoundary(t *testing.T) {
+	// Events exactly at and just beyond the wheel horizon split across
+	// tiers but still fire in timestamp order.
+	k := NewKernel()
+	var got []Time
+	for _, d := range []Time{wheelSpan + 1, wheelSpan, wheelSpan - 1, 1, 2 * wheelSpan} {
+		k.At(d, func() { got = append(got, k.Now()) })
+	}
+	k.Run()
+	want := []Time{1, wheelSpan - 1, wheelSpan, wheelSpan + 1, 2 * wheelSpan}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}
+
+func TestKernelInterleavedTiers(t *testing.T) {
+	// A far event that becomes near-range after the wheel advances must
+	// still fire before later wheel events (the two-tier merge).
+	k := NewKernel()
+	var got []Time
+	k.At(wheelSpan+10, func() { got = append(got, k.Now()) }) // overflow at insert
+	k.At(quantum, func() {
+		// Wheel has advanced; this lands after the overflow event in
+		// time but in the near tier.
+		k.At(wheelSpan+20, func() { got = append(got, k.Now()) })
+	})
+	k.Run()
+	if len(got) != 2 || got[0] != wheelSpan+10 || got[1] != wheelSpan+20 {
+		t.Fatalf("fired %v, want [%v %v]", got, wheelSpan+10, wheelSpan+20)
+	}
+}
+
+func TestClockFreqRoundTrip(t *testing.T) {
+	// Fractional-kHz frequencies must survive the MHz -> kHz -> MHz
+	// round trip: int64 truncation used to drop 71.428 MHz to 71.427.
+	for _, mhz := range []float64{71.428, 122.88, 500, 71, 33.333, 0.001} {
+		clk := NewClock(mhz)
+		if got := clk.FreqMHz(); got != mhz {
+			t.Errorf("NewClock(%v).FreqMHz() = %v, want exact round trip", mhz, got)
+		}
+	}
+}
+
+// --- BenchmarkKernel*: scheduler micro-benchmarks. Run with -benchmem;
+// the Timer paths must report 0 allocs/op. ---
+
+// BenchmarkKernelTimerRearm is the steady-state instruction-issue shape:
+// one timer re-armed one cycle ahead, forever.
+func BenchmarkKernelTimerRearm(b *testing.B) {
+	k := NewKernel()
+	n := 0
+	var tm *Timer
+	tm = k.NewTimer(func() {
+		n++
+		if n < b.N {
+			tm.ArmAfter(2 * Nanosecond)
+		}
+	})
+	tm.ArmAfter(2 * Nanosecond)
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkKernelTimerFanout models a many-core machine: 480 timers all
+// re-arming each cycle (the Fig. 1 system's issue pressure).
+func BenchmarkKernelTimerFanout(b *testing.B) {
+	k := NewKernel()
+	const cores = 480
+	timers := make([]*Timer, cores)
+	fired := 0
+	for i := range timers {
+		i := i
+		timers[i] = k.NewTimer(func() {
+			fired++
+			if fired < b.N {
+				timers[i].ArmAfter(2 * Nanosecond)
+			}
+		})
+	}
+	for _, tm := range timers {
+		tm.ArmAfter(2 * Nanosecond)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for fired < b.N && k.Step() {
+	}
+}
+
+// BenchmarkKernelCancelRearm is the old scheduleIssue dance — cancel a
+// pending registration and move it earlier — as a Timer ArmAt.
+func BenchmarkKernelCancelRearm(b *testing.B) {
+	k := NewKernel()
+	n := 0
+	var tm *Timer
+	tm = k.NewTimer(func() {
+		n++
+		if n < b.N {
+			tm.ArmAfter(4 * Nanosecond)
+			tm.ArmAfter(2 * Nanosecond) // move it, abandoning the slot
+		}
+	})
+	tm.ArmAfter(2 * Nanosecond)
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Run()
+}
+
+// BenchmarkKernelMixedHorizon stresses both tiers: a near re-arming
+// timer against a far one that keeps forcing overflow traffic.
+func BenchmarkKernelMixedHorizon(b *testing.B) {
+	k := NewKernel()
+	n := 0
+	var near, far *Timer
+	near = k.NewTimer(func() {
+		n++
+		if n < b.N {
+			near.ArmAfter(2 * Nanosecond)
+		}
+	})
+	far = k.NewTimer(func() { far.ArmAfter(2 * wheelSpan) })
+	near.ArmAfter(2 * Nanosecond)
+	far.ArmAfter(2 * wheelSpan)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for n < b.N && k.Step() {
+	}
+}
+
+// BenchmarkKernelClosureEvents is the legacy allocating API, kept as the
+// baseline the Timer paths are measured against.
+func BenchmarkKernelClosureEvents(b *testing.B) {
+	k := NewKernel()
+	var next func()
+	n := 0
+	next = func() {
+		n++
+		if n < b.N {
+			k.After(2*Nanosecond, next)
+		}
+	}
+	k.After(2*Nanosecond, next)
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Run()
+}

@@ -7,11 +7,24 @@
 // ordering exact and platform-independent: two runs of the same simulation
 // always produce identical schedules, preserving the time-determinism that
 // is the point of the Swallow platform.
+//
+// Two scheduling APIs share the same queue:
+//
+//   - Kernel.At/After allocate a single-use Event per call. They are the
+//     convenient form for setup code, tests and one-shot work.
+//   - Kernel.NewTimer builds a reusable Timer with its callback bound at
+//     construction. Arming, re-arming and disarming a Timer allocates
+//     nothing, which is what the per-instruction and per-token hot paths
+//     (instruction issue, link pumps, channel-end wakes) are built on.
+//
+// Internally the queue is a two-tier ladder: a bucketed near-future
+// wheel with roughly core-cycle granularity, backed by an overflow heap
+// for far-future events. See kernel.go.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
 )
 
 // Time is a simulation timestamp in picoseconds.
@@ -45,167 +58,24 @@ func (t Time) String() string {
 	}
 }
 
-// Event is a scheduled callback. Events with equal timestamps fire in the
-// order they were scheduled (FIFO), which keeps the kernel deterministic.
-type Event struct {
-	when Time
-	seq  uint64
-	fn   func()
-	// index within the heap, -1 when popped or cancelled.
-	index int
-}
-
-// When reports the time the event is scheduled to fire.
-func (e *Event) When() Time { return e.when }
-
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].when != q[j].when {
-		return q[i].when < q[j].when
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
-}
-
-// Kernel is a single-threaded discrete-event scheduler.
-//
-// The zero value is not ready to use; call NewKernel.
-type Kernel struct {
-	now    Time
-	seq    uint64
-	queue  eventQueue
-	fired  uint64
-	halted bool
-}
-
-// NewKernel returns a kernel with the clock at zero.
-func NewKernel() *Kernel {
-	return &Kernel{}
-}
-
-// Now reports the current simulation time.
-func (k *Kernel) Now() Time { return k.now }
-
-// Fired reports the number of events executed so far.
-func (k *Kernel) Fired() uint64 { return k.fired }
-
-// Pending reports the number of events waiting in the queue.
-func (k *Kernel) Pending() int { return len(k.queue) }
-
-// At schedules fn to run at absolute time t. Scheduling in the past is a
-// programming error and panics: the kernel cannot rewind the clock.
-func (k *Kernel) At(t Time, fn func()) *Event {
-	if t < k.now {
-		panic(fmt.Sprintf("sim: event scheduled at %v before now %v", t, k.now))
-	}
-	ev := &Event{when: t, seq: k.seq, fn: fn}
-	k.seq++
-	heap.Push(&k.queue, ev)
-	return ev
-}
-
-// After schedules fn to run d picoseconds after the current time.
-func (k *Kernel) After(d Time, fn func()) *Event {
-	if d < 0 {
-		panic(fmt.Sprintf("sim: negative delay %d", d))
-	}
-	return k.At(k.now+d, fn)
-}
-
-// Cancel removes a pending event. Cancelling an event that already fired
-// (or was already cancelled) is a no-op and reports false.
-func (k *Kernel) Cancel(ev *Event) bool {
-	if ev == nil || ev.index < 0 {
-		return false
-	}
-	heap.Remove(&k.queue, ev.index)
-	ev.index = -1
-	ev.fn = nil
-	return true
-}
-
-// Halt stops the current Run/RunUntil call after the in-flight event
-// completes. Pending events remain queued.
-func (k *Kernel) Halt() { k.halted = true }
-
-// Step executes the single next event, advancing the clock to its
-// timestamp. It reports false when the queue is empty.
-func (k *Kernel) Step() bool {
-	if len(k.queue) == 0 {
-		return false
-	}
-	ev := heap.Pop(&k.queue).(*Event)
-	k.now = ev.when
-	k.fired++
-	ev.fn()
-	return true
-}
-
-// Run executes events until the queue drains or Halt is called.
-func (k *Kernel) Run() {
-	k.halted = false
-	for !k.halted && k.Step() {
-	}
-}
-
-// RunUntil executes events with timestamps <= deadline, then sets the
-// clock to the deadline (even if no event fired exactly there). Events
-// scheduled beyond the deadline stay queued.
-func (k *Kernel) RunUntil(deadline Time) {
-	k.halted = false
-	for !k.halted && len(k.queue) > 0 && k.queue[0].when <= deadline {
-		k.Step()
-	}
-	if !k.halted && k.now < deadline {
-		k.now = deadline
-	}
-}
-
-// RunFor advances the clock by d, executing everything due in the window.
-func (k *Kernel) RunFor(d Time) { k.RunUntil(k.now + d) }
-
 // Clock converts between a component clock frequency and kernel time.
 // Frequencies are stored in kHz so that every frequency the platform uses
-// (71–500 MHz cores, fractional link clocks) has an exact integer period
+// (71-500 MHz cores, fractional link clocks) has an exact integer period
 // representation check at construction.
 type Clock struct {
 	freqKHz  int64
 	periodPS Time
 }
 
-// NewClock builds a clock from a frequency in MHz. Periods that do not
-// divide a picosecond grid exactly are rounded to the nearest picosecond;
-// at 1 ps resolution the error is below 0.1% for every frequency the
-// platform uses.
+// NewClock builds a clock from a frequency in MHz. Frequencies are
+// rounded to the nearest kHz and periods to the nearest picosecond; at
+// 1 ps resolution the period error is below 0.1% for every frequency
+// the platform uses.
 func NewClock(freqMHz float64) Clock {
 	if freqMHz <= 0 {
 		panic("sim: clock frequency must be positive")
 	}
-	khz := int64(freqMHz * 1000)
+	khz := int64(math.Round(freqMHz * 1000))
 	// One cycle at f MHz lasts 1e6/f ps (1 MHz -> 1 us -> 1e6 ps).
 	period := Time(1e6/freqMHz + 0.5)
 	return Clock{freqKHz: khz, periodPS: period}

@@ -88,8 +88,12 @@ type Core struct {
 	// rr is the round-robin issue order of thread IDs.
 	rr []int
 
-	issueEv   *sim.Event
-	issueTime sim.Time
+	// issueTimer drives the pipeline: armed once per issue attempt and
+	// re-armed forever, never reallocated.
+	issueTimer *sim.Timer
+	// twaitTimers wake TWAIT-blocked threads, one preallocated per
+	// hardware thread (a thread blocks on at most one deadline).
+	twaitTimers [MaxThreads]*sim.Timer
 
 	// timerAlloc tracks GETR'd timers.
 	timerAlloc [MaxThreads]bool
@@ -131,8 +135,15 @@ func NewCore(k *sim.Kernel, sw *noc.Switch, cfg Config) (*Core, error) {
 		clk:  sim.NewClock(cfg.FreqMHz),
 		mem:  make([]byte, MemSize),
 	}
+	c.issueTimer = k.NewTimer(c.issueStep)
 	for i := range c.threads {
 		c.threads[i].ID = i
+		th := &c.threads[i]
+		c.twaitTimers[i] = k.NewTimer(func() {
+			if th.State == TBlockedTime {
+				c.kickThread(th)
+			}
+		})
 	}
 	c.accrualStart = k.Now()
 	return c, nil
@@ -189,10 +200,7 @@ func (c *Core) Load(p *Program) error {
 	for i, w := range p.Words {
 		binary.LittleEndian.PutUint32(c.mem[i*4:], w)
 	}
-	for i := range c.threads {
-		c.threads[i] = Thread{ID: i}
-	}
-	c.rr = c.rr[:0]
+	c.resetThreads()
 	c.DebugTrace = nil
 	c.Console = nil
 	c.halted = false
@@ -220,10 +228,7 @@ func (c *Core) LoadAt(p *Program, byteBase uint32) error {
 	for i, w := range p.Words {
 		binary.LittleEndian.PutUint32(c.mem[byteBase+uint32(i*4):], w)
 	}
-	for i := range c.threads {
-		c.threads[i] = Thread{ID: i}
-	}
-	c.rr = c.rr[:0]
+	c.resetThreads()
 	c.halted = false
 	t0 := &c.threads[0]
 	t0.State = TReady
@@ -232,6 +237,16 @@ func (c *Core) LoadAt(p *Program, byteBase uint32) error {
 	c.rr = append(c.rr, 0)
 	c.scheduleIssue(c.alignUp(c.k.Now()))
 	return nil
+}
+
+// resetThreads returns every hardware thread to its power-on state,
+// disarming any pending time waits from a previous program.
+func (c *Core) resetThreads() {
+	for i := range c.threads {
+		c.threads[i] = Thread{ID: i}
+		c.twaitTimers[i].Disarm()
+	}
+	c.rr = c.rr[:0]
 }
 
 // Done reports whether every live thread has halted.
@@ -259,25 +274,21 @@ func (c *Core) scheduleIssue(t sim.Time) {
 	if c.halted {
 		return
 	}
-	if c.issueEv != nil {
-		if c.issueTime <= t {
-			return
-		}
-		c.k.Cancel(c.issueEv)
-	}
-	c.issueTime = t
-	c.issueEv = c.k.At(t, c.issueStep)
+	c.issueTimer.ArmEarliest(t)
 }
 
 // issueStep is the pipeline: pick the next ready thread in round-robin
 // order and execute one instruction.
 func (c *Core) issueStep() {
-	c.issueEv = nil
 	now := c.k.Now()
 	var th *Thread
 	for i := 0; i < len(c.rr); i++ {
-		cand := &c.threads[c.rr[0]]
-		c.rr = append(c.rr[1:], c.rr[0])
+		id := c.rr[0]
+		// Rotate in place: appending rr[1:] back onto itself would grow
+		// a fresh backing array on every instruction issued.
+		copy(c.rr, c.rr[1:])
+		c.rr[len(c.rr)-1] = id
+		cand := &c.threads[id]
 		if cand.State == TReady && cand.nextReady <= now {
 			th = cand
 			break
@@ -386,10 +397,7 @@ func (c *Core) bankEnergy() {
 // Halt freezes the core (used by machine teardown).
 func (c *Core) Halt() {
 	c.halted = true
-	if c.issueEv != nil {
-		c.k.Cancel(c.issueEv)
-		c.issueEv = nil
-	}
+	c.issueTimer.Disarm()
 }
 
 // --- memory access ---

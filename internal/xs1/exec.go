@@ -442,11 +442,7 @@ func (c *Core) execute(th *Thread) {
 			charge()
 			th.State = TBlockedTime
 			when := c.k.Now() + sim.Time(int32(deadline-c.refNow()))*10*sim.Nanosecond
-			c.k.At(when, func() {
-				if th.State == TBlockedTime {
-					c.kickThread(th)
-				}
-			})
+			c.twaitTimers[th.ID].ArmAt(when)
 			// TWAIT completes when the deadline passes; PC advances now
 			// so the wake resumes after it.
 			th.PC = next
