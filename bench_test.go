@@ -1,363 +1,79 @@
-// Benchmark harness: one benchmark per table and figure of the paper.
-// Run with:
+// Benchmark harness: one generic benchmark per artifact registered in
+// the internal/harness registry. Run with:
 //
 //	go test -bench=. -benchmem
 //
-// Each benchmark regenerates its artifact through internal/experiments,
+// Each sub-benchmark regenerates its artifact through the registry,
 // asserts nothing itself (the experiment tests do that), logs the
-// rendered table (-v), and exports the headline quantities as benchmark
-// metrics so shape comparisons appear directly in the bench output.
+// rendered table (-v), and exports the artifact's headline quantities
+// as benchmark metrics so shape comparisons appear directly in the
+// bench output.
+//
+// BenchmarkSuite times one pass over the whole registry, serially and
+// with the sweeps fanned out across GOMAXPROCS goroutines — the
+// wall-clock ratio is the parallel harness's speedup on this machine.
 package swallow
 
 import (
-	"strings"
 	"testing"
 
-	"swallow/internal/energy"
-	"swallow/internal/experiments"
+	"swallow/internal/harness"
+	"swallow/internal/harness/sweep"
 	"swallow/internal/metrics"
-	"swallow/internal/survey"
+
+	// Register the experiment artifacts.
+	_ "swallow/internal/experiments"
 )
 
-// metricName sanitises a label into a benchmark metric unit (no
-// whitespace allowed).
-func metricName(parts ...string) string {
-	s := strings.Join(parts, "_")
-	s = strings.ReplaceAll(s, " ", "-")
-	s = strings.ReplaceAll(s, ",", "+")
-	return s
-}
-
-// BenchmarkTableI_LinkEnergies regenerates Table I: per-bit energies
-// and max power of the four link classes.
-func BenchmarkTableI_LinkEnergies(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		rows, err := experiments.TableI()
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			b.Logf("\n%s", experiments.RenderTableI(rows))
-			for _, r := range rows {
-				b.ReportMetric(r.MeasuredPJPerBit, metricName(r.Class.String(), "pJ/bit"))
+// BenchmarkArtifacts regenerates every registered table and figure.
+// Sweeps are pinned serial so per-artifact ns/op is comparable across
+// machines and with historical baselines; BenchmarkSuite/par measures
+// the parallel gain.
+func BenchmarkArtifacts(b *testing.B) {
+	prev := sweep.Concurrency()
+	sweep.SetConcurrency(1)
+	defer sweep.SetConcurrency(prev)
+	cfg := harness.DefaultConfig()
+	for _, a := range harness.Artifacts() {
+		b.Run(a.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := a.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.Logf("\n%s", a.Render(res))
+					for _, m := range a.SortedMetrics(res) {
+						b.ReportMetric(m.Value, m.Name)
+					}
+				}
 			}
-		}
+		})
 	}
 }
 
-// BenchmarkTableII_CandidateProcessors regenerates Table II and the
-// selection predicate.
-func BenchmarkTableII_CandidateProcessors(b *testing.B) {
+// runSuite regenerates every artifact once at the given sweep
+// concurrency.
+func runSuite(b *testing.B, workers int) {
+	b.Helper()
+	prev := sweep.Concurrency()
+	sweep.SetConcurrency(workers)
+	defer sweep.SetConcurrency(prev)
+	cfg := harness.QuickConfig()
 	for i := 0; i < b.N; i++ {
-		t, err := experiments.RenderTableII()
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			b.Logf("\n%s", t)
-		}
-	}
-}
-
-// BenchmarkTableIII_ManyCoreSystems regenerates Table III with derived
-// uW/MHz columns.
-func BenchmarkTableIII_ManyCoreSystems(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		t := experiments.RenderTableIII()
-		if i == 0 {
-			b.Logf("\n%s", t)
-			sw, _ := survey.SystemByName("Swallow")
-			b.ReportMetric(sw.DerivedUWPerMHz(), "swallow_uW/MHz_derived")
-		}
-	}
-}
-
-// BenchmarkFig1_SystemScale regenerates the 480-core headline: 240
-// GIPS at ~134 W.
-func BenchmarkFig1_SystemScale(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		s, err := experiments.Scale(15000)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			b.Logf("\n%s", experiments.RenderScale(s))
-			b.ReportMetric(s.PeakGIPS, "GIPS")
-			b.ReportMetric(s.LoadedWallW, "loaded_W")
-		}
-	}
-}
-
-// BenchmarkFig2_PowerBreakdown regenerates the per-node power budget.
-func BenchmarkFig2_PowerBreakdown(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		r, err := experiments.Fig2(15000)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			b.Logf("\n%s", experiments.RenderFig2(r))
-			b.ReportMetric(r.NodeTotalW*1e3, "node_mW")
-			b.ReportMetric(r.ComputationW*1e3, "compute_mW")
-		}
-	}
-}
-
-// BenchmarkFig3_FrequencyScaling regenerates the power-vs-frequency
-// sweep and fits Eq. 1.
-func BenchmarkFig3_FrequencyScaling(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		points, err := experiments.Fig3(10000)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			slope, intercept, r2, err := experiments.Fig3Fit(points)
-			if err != nil {
+		for _, a := range harness.Artifacts() {
+			if _, err := a.Run(cfg); err != nil {
 				b.Fatal(err)
 			}
-			b.Logf("\n%sfit: Pc = %.1f + %.3f f mW (r2=%.5f); paper: Pc = 46 + 0.30 f",
-				experiments.RenderFig3(points), intercept, slope, r2)
-			b.ReportMetric(slope, "slope_mW/MHz")
-			b.ReportMetric(intercept, "intercept_mW")
 		}
 	}
 }
 
-// BenchmarkFig4_DVFS regenerates the voltage+frequency scaling
-// comparison.
-func BenchmarkFig4_DVFS(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		points, err := experiments.Fig4(10000)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			b.Logf("\n%s", experiments.RenderFig4(points))
-			last := points[len(points)-1]
-			b.ReportMetric(last.PowerDVFSW*1e3, "dvfs_500MHz_mW")
-		}
-	}
-}
-
-// BenchmarkEq1_PowerModel validates Eq. 1's linearity from simulation.
-func BenchmarkEq1_PowerModel(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		points, err := experiments.Fig3(8000)
-		if err != nil {
-			b.Fatal(err)
-		}
-		slope, intercept, r2, err := experiments.Fig3Fit(points)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			b.ReportMetric(slope, "slope_mW/MHz")
-			b.ReportMetric(intercept, "intercept_mW")
-			b.ReportMetric(r2, "r2")
-		}
-	}
-}
-
-// BenchmarkEq2_ThreadThroughput regenerates the thread-scaling law.
-func BenchmarkEq2_ThreadThroughput(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		points, err := experiments.Eq2(10000)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			b.Logf("\n%s", experiments.RenderEq2(points))
-			for _, p := range points {
-				if p.Threads == 1 || p.Threads == 4 || p.Threads == 8 {
-					b.ReportMetric(p.MeasuredIPS/1e6, "MIPS_nt"+string(rune('0'+p.Threads)))
-				}
-			}
-		}
-	}
-}
-
-// BenchmarkLatency_TokenWord regenerates the Section V-C latency table.
-func BenchmarkLatency_TokenWord(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Latencies()
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			b.Logf("\n%s", experiments.RenderLatencies(rows))
-			for _, r := range rows {
-				b.ReportMetric(r.MeasuredNS, metricName(r.Name, "ns"))
-			}
-		}
-	}
-}
-
-// BenchmarkGoodput_PacketOverhead regenerates the ~87% packet-overhead
-// figure of Section V-B.
-func BenchmarkGoodput_PacketOverhead(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		points, err := experiments.GoodputSweep([]int{4, 8, 16, 28, 48, 96})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			b.Logf("\n%s", experiments.RenderGoodput(points))
-			for _, p := range points {
-				if p.PayloadBytes == 28 {
-					b.ReportMetric(p.Fraction*100, "goodput_28B_%")
-				}
-			}
-		}
-	}
-}
-
-// BenchmarkEC_Ratios regenerates the Section V-D EC table.
-func BenchmarkEC_Ratios(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		rows, err := experiments.ECRatios()
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			b.Logf("\n%s", experiments.RenderEC(rows))
-			for _, r := range rows {
-				_ = r
-			}
-			b.ReportMetric(rows[len(rows)-1].MeasuredEC, "bisection_EC")
-		}
-	}
-}
-
-// BenchmarkBisection_Slice measures the slice bisection saturating
-// bandwidth on its own (the C of the EC = 512 row).
-func BenchmarkBisection_Slice(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		rows, err := experiments.ECRatios()
-		if err != nil {
-			b.Fatal(err)
-		}
-		last := rows[len(rows)-1]
-		if i == 0 {
-			b.ReportMetric(last.MeasuredCBps/1e6, "bisection_Mbit/s")
-		}
-	}
-}
-
-// BenchmarkMeasurement_ADC exercises the daughter-board at its rate
-// limits (Section II: 2 MS/s single channel, 1 MS/s all channels).
-func BenchmarkMeasurement_ADC(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		if err := experiments.MeasurementRates(); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkEnergy_ComputeVsComm regenerates the Section II comparison
-// of per-bit compute energy against per-bit link energy.
-func BenchmarkEnergy_ComputeVsComm(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		lo := energy.PerBitComputeEnergy(energy.InstrEnergyTotal(energy.ClassALU, 400, 1))
-		hi := energy.PerBitComputeEnergy(energy.InstrEnergyTotal(energy.ClassDiv, 400, 1))
-		link := energy.LinkEnergyPerBit(energy.LinkOnChip)
-		if i == 0 {
-			b.ReportMetric(lo*1e12, "compute_lo_pJ/bit")
-			b.ReportMetric(hi*1e12, "compute_hi_pJ/bit")
-			b.ReportMetric(link*1e12, "onchip_link_pJ/bit")
-		}
-	}
-}
-
-// BenchmarkBridge_Ethernet regenerates the 80 Mbit/s bridge cap.
-func BenchmarkBridge_Ethernet(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		rate, err := experiments.BridgeRate()
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			b.ReportMetric(rate/1e6, "bridge_Mbit/s")
-		}
-	}
-}
-
-// BenchmarkSurvey_ECRange regenerates the 0.42-55 related-work EC
-// range.
-func BenchmarkSurvey_ECRange(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		lo, hi := survey.ECRange()
-		if i == 0 {
-			b.Logf("\n%s", experiments.RenderSurveyEC())
-			b.ReportMetric(lo, "EC_lo")
-			b.ReportMetric(hi, "EC_hi")
-		}
-	}
-}
-
-// BenchmarkAblation_RoutePolicy compares adaptive against strict
-// vertical-first routing.
-func BenchmarkAblation_RoutePolicy(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.AblationRouting()
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			for _, r := range res {
-				b.ReportMetric(r.MeanPathLength, r.Policy.String()+"_pathlen")
-				b.ReportMetric(r.MeanTransitions, r.Policy.String()+"_xings")
-			}
-		}
-	}
-}
-
-// BenchmarkAblation_LinkAggregation sweeps the enabled internal link
-// count.
-func BenchmarkAblation_LinkAggregation(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.AblationLinks()
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			for links := 1; links <= 4; links++ {
-				b.ReportMetric(res[links]/1e6, "links"+string(rune('0'+links))+"_Mbit/s")
-			}
-		}
-	}
-}
-
-// BenchmarkAblation_PlacementLocality compares the same stream placed
-// core-locally, in-package and off-chip (the Section V-D placement
-// recommendations).
-func BenchmarkAblation_PlacementLocality(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.AblationPlacement()
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			for name, gbps := range res {
-				b.ReportMetric(gbps/1e6, metricName(name, "Mbit/s"))
-			}
-		}
-	}
-}
-
-// BenchmarkNOS_NetworkBoot measures the nOS boot path (an extension
-// experiment: program loading over the network per Section V-E).
-func BenchmarkNOS_NetworkBoot(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		st, err := experiments.BootCost()
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			b.ReportMetric(float64(st.ImageBytes), "image_bytes")
-			b.ReportMetric(st.Elapsed.Seconds()*1e6, "boot_us")
-		}
-	}
+// BenchmarkSuite/seq and /par time the full registry pass; their ratio
+// is the sweep engine's wall-clock gain.
+func BenchmarkSuite(b *testing.B) {
+	b.Run("seq", func(b *testing.B) { runSuite(b, 1) })
+	b.Run("par", func(b *testing.B) { runSuite(b, 0) }) // 0 -> GOMAXPROCS
 }
 
 // BenchmarkEq2Analytic exercises the pure Eq. 2 law (no simulation) as
@@ -368,23 +84,4 @@ func BenchmarkEq2Analytic(b *testing.B) {
 		acc += metrics.IPSCore(500e6, i%9)
 	}
 	_ = acc
-}
-
-// BenchmarkAblation_PipelinePlacement compares the same pipeline
-// chip-local vs scattered across four boards: the energy cost of
-// ignoring the paper's locality recommendations.
-func BenchmarkAblation_PipelinePlacement(b *testing.B) {
-	for i := 0; i < b.N; i++ {
-		rows, err := experiments.PipelinePlacement(150)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if i == 0 {
-			b.Logf("\n%s", experiments.RenderPlacement(rows))
-			for _, r := range rows {
-				b.ReportMetric(r.EnergyPerItemJ*1e9, metricName(r.Name, "nJ/item"))
-				b.ReportMetric(r.Elapsed.Seconds()*1e6, metricName(r.Name, "us"))
-			}
-		}
-	}
 }

@@ -1,10 +1,15 @@
 // Command swallow-tables regenerates every table and figure of the
 // paper from the simulator and prints them, with the published values
-// alongside the simulated ones.
+// alongside the simulated ones. It is a thin driver over the
+// internal/harness artifact registry: -list enumerates the registered
+// artifacts, -only filters them, and -par/-seq choose how many
+// goroutines the inner sweeps fan out across (each sweep point owns
+// its own simulation kernel, so the output is byte-identical either
+// way).
 //
 // Usage:
 //
-//	swallow-tables [-quick] [-only regexp]
+//	swallow-tables [-quick] [-only regexp] [-list] [-par N | -seq]
 package main
 
 import (
@@ -13,11 +18,13 @@ import (
 	"log"
 	"os"
 	"regexp"
-)
+	"runtime"
 
-import (
-	"swallow/internal/experiments"
-	"swallow/internal/report"
+	"swallow/internal/harness"
+	"swallow/internal/harness/sweep"
+
+	// Register the experiment artifacts.
+	_ "swallow/internal/experiments"
 )
 
 func main() {
@@ -25,12 +32,30 @@ func main() {
 	log.SetPrefix("swallow-tables: ")
 	quick := flag.Bool("quick", false, "use shorter workloads (less settled measurements)")
 	only := flag.String("only", "", "regexp of artifact names to regenerate")
+	list := flag.Bool("list", false, "list registered artifact names and exit")
+	par := flag.Int("par", runtime.GOMAXPROCS(0), "max goroutines per sweep (output is identical at any setting)")
+	seq := flag.Bool("seq", false, "run sweeps serially (same as -par 1)")
 	flag.Parse()
 
-	iters := 20000
-	if *quick {
-		iters = 5000
+	if *list {
+		for _, name := range harness.Names() {
+			fmt.Println(name)
+		}
+		return
 	}
+
+	cfg := harness.DefaultConfig()
+	if *quick {
+		cfg = harness.QuickConfig()
+	}
+	if *seq {
+		*par = 1
+	}
+	if *par < 1 {
+		log.Fatalf("-par must be >= 1, got %d", *par)
+	}
+	sweep.SetConcurrency(*par)
+
 	var filter *regexp.Regexp
 	if *only != "" {
 		var err error
@@ -39,96 +64,21 @@ func main() {
 			log.Fatalf("bad -only pattern: %v", err)
 		}
 	}
-	run := func(name string, fn func() (*report.Table, error)) {
-		if filter != nil && !filter.MatchString(name) {
-			return
+
+	matched := false
+	for _, a := range harness.Artifacts() {
+		if filter != nil && !filter.MatchString(a.Name) {
+			continue
 		}
-		t, err := fn()
+		matched = true
+		t, err := a.Table(cfg)
 		if err != nil {
-			log.Fatalf("%s: %v", name, err)
+			log.Fatalf("%s: %v", a.Name, err)
 		}
 		t.Render(os.Stdout)
 		fmt.Println()
 	}
-
-	run("table1", func() (*report.Table, error) {
-		rows, err := experiments.TableI()
-		if err != nil {
-			return nil, err
-		}
-		return experiments.RenderTableI(rows), nil
-	})
-	run("table2", experiments.RenderTableII)
-	run("table3", func() (*report.Table, error) { return experiments.RenderTableIII(), nil })
-	run("fig1", func() (*report.Table, error) {
-		s, err := experiments.Scale(iters)
-		if err != nil {
-			return nil, err
-		}
-		return experiments.RenderScale(s), nil
-	})
-	run("fig2", func() (*report.Table, error) {
-		r, err := experiments.Fig2(iters)
-		if err != nil {
-			return nil, err
-		}
-		return experiments.RenderFig2(r), nil
-	})
-	run("fig3", func() (*report.Table, error) {
-		points, err := experiments.Fig3(iters)
-		if err != nil {
-			return nil, err
-		}
-		t := experiments.RenderFig3(points)
-		slope, intercept, r2, err := experiments.Fig3Fit(points)
-		if err != nil {
-			return nil, err
-		}
-		t.AddRow("(fit)", fmt.Sprintf("Pc = %.1f + %.3f f", intercept, slope),
-			fmt.Sprintf("r2 = %.5f", r2), "paper: 46 + 0.30 f", "")
-		return t, nil
-	})
-	run("fig4", func() (*report.Table, error) {
-		points, err := experiments.Fig4(iters)
-		if err != nil {
-			return nil, err
-		}
-		return experiments.RenderFig4(points), nil
-	})
-	run("eq2", func() (*report.Table, error) {
-		points, err := experiments.Eq2(iters)
-		if err != nil {
-			return nil, err
-		}
-		return experiments.RenderEq2(points), nil
-	})
-	run("latency", func() (*report.Table, error) {
-		rows, err := experiments.Latencies()
-		if err != nil {
-			return nil, err
-		}
-		return experiments.RenderLatencies(rows), nil
-	})
-	run("goodput", func() (*report.Table, error) {
-		points, err := experiments.GoodputSweep([]int{4, 8, 16, 28, 48, 96})
-		if err != nil {
-			return nil, err
-		}
-		return experiments.RenderGoodput(points), nil
-	})
-	run("ec", func() (*report.Table, error) {
-		rows, err := experiments.ECRatios()
-		if err != nil {
-			return nil, err
-		}
-		return experiments.RenderEC(rows), nil
-	})
-	run("survey-ec", func() (*report.Table, error) { return experiments.RenderSurveyEC(), nil })
-	run("placement", func() (*report.Table, error) {
-		rows, err := experiments.PipelinePlacement(150)
-		if err != nil {
-			return nil, err
-		}
-		return experiments.RenderPlacement(rows), nil
-	})
+	if !matched && filter != nil {
+		log.Fatalf("no artifact matches -only %q (try -list)", *only)
+	}
 }

@@ -17,9 +17,14 @@
 //	internal/bridge       Ethernet bridge module
 //	internal/workload     host-driven flows and benchmark programs
 //	internal/experiments  regenerates every table and figure of the paper
+//	internal/harness      artifact registry + parallel sweep engine
 //
-// The benchmarks in bench_test.go and the cmd/ tools are thin wrappers
-// around internal/experiments.
+// Each experiment registers once with the harness registry (a name, a
+// Run, a Render); the benchmarks in bench_test.go and the cmd/ tools
+// are thin loops over harness.Artifacts(). Sweep inner loops run
+// through harness/sweep.Map, which fans independent points (each with
+// its own kernel and machine) across goroutines without changing a
+// byte of output.
 //
 // # Scheduling
 //

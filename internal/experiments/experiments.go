@@ -11,6 +11,7 @@ import (
 
 	"swallow/internal/core"
 	"swallow/internal/energy"
+	"swallow/internal/harness/sweep"
 	"swallow/internal/metrics"
 	"swallow/internal/noc"
 	"swallow/internal/report"
@@ -110,20 +111,20 @@ type Fig3Point struct {
 var Fig3Frequencies = []float64{71, 125, 200, 275, 350, 425, 500}
 
 // Fig3 measures power-vs-frequency for a four-core group (one supply
-// rail), loaded and idle.
+// rail), loaded and idle. Each frequency point builds its own machines
+// and runs independently under sweep.Map.
 func Fig3(iters int) ([]Fig3Point, error) {
-	var out []Fig3Point
-	for _, f := range Fig3Frequencies {
+	return sweep.Map(Fig3Frequencies, func(_ int, f float64) (Fig3Point, error) {
 		cfg := coreCfg(f)
 		m, err := core.New(1, 1, core.Options{Core: &cfg})
 		if err != nil {
-			return nil, err
+			return Fig3Point{}, err
 		}
 		// Load the four cores of supply group 0 (package rows 0).
 		prog := workload.HeavyLoad(4, iters)
 		for _, node := range supplyGroupNodes(0) {
 			if err := m.Load(node, prog); err != nil {
-				return nil, err
+				return Fig3Point{}, err
 			}
 		}
 		// Warm up into steady state, then measure one window.
@@ -136,21 +137,20 @@ func Fig3(iters int) ([]Fig3Point, error) {
 		// Idle machine at the same frequency.
 		mi, err := core.New(1, 1, core.Options{Core: &cfg})
 		if err != nil {
-			return nil, err
+			return Fig3Point{}, err
 		}
 		mi.RunFor(500 * sim.Microsecond)
 		smpIdle := mi.Board(0).SampleAll()
 		idle := smpIdle.OutputW[0]
 
-		out = append(out, Fig3Point{
+		return Fig3Point{
 			FreqMHz:          f,
 			ModelActive4W:    4 * energy.CorePowerActive(f),
 			ModelIdle4W:      4 * energy.CorePowerIdle(f),
 			MeasuredActive4W: active,
 			MeasuredIdle4W:   idle,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // Fig3Fit extracts the Eq. 1 parameters from the measured series: the
@@ -217,27 +217,26 @@ func measureLoadedCorePower(cfg xs1.Config, iters int) (float64, error) {
 }
 
 // Fig4 sweeps the DVFS comparison for one core with four active
-// threads: at 1 V, and re-run at VDD = VMin(f).
+// threads: at 1 V, and re-run at VDD = VMin(f). Frequencies run
+// independently under sweep.Map.
 func Fig4(iters int) ([]Fig4Point, error) {
-	var out []Fig4Point
-	for _, f := range Fig3Frequencies {
+	return sweep.Map(Fig3Frequencies, func(_ int, f float64) (Fig4Point, error) {
 		at1v, err := measureLoadedCorePower(xs1.Config{FreqMHz: f, VDD: 1.0}, iters)
 		if err != nil {
-			return nil, err
+			return Fig4Point{}, err
 		}
 		scaled, err := measureLoadedCorePower(xs1.Config{FreqMHz: f, VDD: energy.VMin(f)}, iters)
 		if err != nil {
-			return nil, err
+			return Fig4Point{}, err
 		}
-		out = append(out, Fig4Point{
+		return Fig4Point{
 			FreqMHz:       f,
 			PowerAt1VW:    at1v,
 			PowerDVFSW:    energy.CorePowerDVFS(f, 4),
 			MeasuredDVFSW: scaled,
 			VMin:          energy.VMin(f),
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // RenderFig4 formats the sweep.

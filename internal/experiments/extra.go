@@ -5,14 +5,47 @@ import (
 
 	"swallow/internal/bridge"
 	"swallow/internal/core"
+	"swallow/internal/energy"
+	"swallow/internal/harness/sweep"
 	"swallow/internal/noc"
 	"swallow/internal/nos"
 	"swallow/internal/power"
+	"swallow/internal/report"
 	"swallow/internal/sim"
 	"swallow/internal/topo"
 	"swallow/internal/workload"
 	"swallow/internal/xs1"
 )
+
+// EnergyCompare is the Section II comparison of per-bit compute
+// energy (ALU lower bound to divide upper bound, at 400 MHz) against
+// per-bit on-chip link energy — the ratio that motivates
+// energy-transparent communication.
+type EnergyCompare struct {
+	ComputeLoPJ, ComputeHiPJ, OnChipLinkPJ float64
+}
+
+// ComputeVsComm derives the comparison from the calibrated models.
+func ComputeVsComm() EnergyCompare {
+	lo := energy.PerBitComputeEnergy(energy.InstrEnergyTotal(energy.ClassALU, 400, 1))
+	hi := energy.PerBitComputeEnergy(energy.InstrEnergyTotal(energy.ClassDiv, 400, 1))
+	link := energy.LinkEnergyPerBit(energy.LinkOnChip)
+	return EnergyCompare{
+		ComputeLoPJ:  lo * 1e12,
+		ComputeHiPJ:  hi * 1e12,
+		OnChipLinkPJ: link * 1e12,
+	}
+}
+
+// RenderEnergyCompare formats the comparison.
+func RenderEnergyCompare(e EnergyCompare) *report.Table {
+	t := report.NewTable("Section II: per-bit compute vs communication energy",
+		"quantity", "pJ/bit")
+	t.AddRow("compute, ALU class (lower bound)", fmt.Sprintf("%.2f", e.ComputeLoPJ))
+	t.AddRow("compute, divide class (upper bound)", fmt.Sprintf("%.2f", e.ComputeHiPJ))
+	t.AddRow("on-chip link", fmt.Sprintf("%.2f", e.OnChipLinkPJ))
+	return t
+}
 
 // MeasurementRates exercises the ADC daughter-board at the Section II
 // limits: 2 MS/s on a single supply, 1 MS/s across all five, and
@@ -104,51 +137,86 @@ func BridgeRate() (float64, error) {
 // achieved rates that motivate the Section V-D placement
 // recommendations.
 func AblationPlacement() (map[string]float64, error) {
-	placements := []struct {
-		name     string
-		src, dst topo.NodeID
-	}{
-		{"core-local", topo.MakeNodeID(0, 0, topo.LayerV), topo.MakeNodeID(0, 0, topo.LayerV)},
-		{"in-package", topo.MakeNodeID(0, 0, topo.LayerV), topo.MakeNodeID(0, 0, topo.LayerH)},
-		{"on-board", topo.MakeNodeID(0, 0, topo.LayerV), topo.MakeNodeID(0, 1, topo.LayerV)},
-		{"off-board", topo.MakeNodeID(1, 0, topo.LayerH), topo.MakeNodeID(2, 0, topo.LayerH)},
-	}
-	out := make(map[string]float64)
-	for _, p := range placements {
-		if p.src == p.dst {
-			// Two channel ends on one core, host-driven.
-			k := sim.NewKernel()
-			net, err := noc.NewNetwork(k, topo.MustSystem(2, 1), noc.OperatingConfig())
-			if err != nil {
-				return nil, err
-			}
-			f := &workload.Flow{
-				Src:    net.Switch(p.src).ChanEnd(0),
-				Dst:    net.Switch(p.src).ChanEnd(1),
-				Tokens: 8000,
-			}
-			if err := workload.RunFlows(k, []*workload.Flow{f}, sim.Second); err != nil {
-				return nil, err
-			}
-			out[p.name] = f.GoodputBitsPerSec()
-			continue
-		}
+	rates, err := sweep.Map(streamPlacements, func(_ int, p streamPlacement) (float64, error) {
 		k := sim.NewKernel()
 		net, err := noc.NewNetwork(k, topo.MustSystem(2, 1), noc.OperatingConfig())
 		if err != nil {
-			return nil, err
+			return 0, err
+		}
+		dst, dstEnd := p.dst, uint8(0)
+		if p.src == p.dst {
+			// Two channel ends on one core, host-driven.
+			dst, dstEnd = p.src, 1
 		}
 		f := &workload.Flow{
 			Src:    net.Switch(p.src).ChanEnd(0),
-			Dst:    net.Switch(p.dst).ChanEnd(0),
+			Dst:    net.Switch(dst).ChanEnd(dstEnd),
 			Tokens: 8000,
 		}
 		if err := workload.RunFlows(k, []*workload.Flow{f}, sim.Second); err != nil {
-			return nil, err
+			return 0, err
 		}
-		out[p.name] = f.GoodputBitsPerSec()
+		return f.GoodputBitsPerSec(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(rates))
+	for i, r := range rates {
+		out[streamPlacements[i].name] = r
 	}
 	return out, nil
+}
+
+// streamPlacement is one AblationPlacement variant; streamPlacements
+// is the single source of both the sweep and the render order.
+type streamPlacement struct {
+	name     string
+	src, dst topo.NodeID
+}
+
+var streamPlacements = []streamPlacement{
+	{"core-local", topo.MakeNodeID(0, 0, topo.LayerV), topo.MakeNodeID(0, 0, topo.LayerV)},
+	{"in-package", topo.MakeNodeID(0, 0, topo.LayerV), topo.MakeNodeID(0, 0, topo.LayerH)},
+	{"on-board", topo.MakeNodeID(0, 0, topo.LayerV), topo.MakeNodeID(0, 1, topo.LayerV)},
+	{"off-board", topo.MakeNodeID(1, 0, topo.LayerH), topo.MakeNodeID(2, 0, topo.LayerH)},
+}
+
+// RenderAblationPlacement formats the stream-placement ablation.
+func RenderAblationPlacement(res map[string]float64) *report.Table {
+	t := report.NewTable("Ablation: single-stream goodput by placement",
+		"placement", "goodput")
+	for _, p := range streamPlacements {
+		t.AddRow(p.name, report.FormatSI(res[p.name])+"bit/s")
+	}
+	return t
+}
+
+// RenderBridgeRate formats the Ethernet bridge ingress measurement.
+func RenderBridgeRate(rate float64) *report.Table {
+	t := report.NewTable("Ethernet bridge ingress rate",
+		"cap", "measured")
+	t.AddRow("80Mbit/s", report.FormatSI(rate)+"bit/s")
+	return t
+}
+
+// RenderBootCost formats the nOS network-boot measurement.
+func RenderBootCost(st nos.BootStats) *report.Table {
+	t := report.NewTable("nOS network boot (4-core job over the bridge)",
+		"image bytes", "boot time")
+	t.AddRow(fmt.Sprintf("%d", st.ImageBytes), st.Elapsed.String())
+	return t
+}
+
+// RenderMeasurementRates formats the ADC rate-limit verification,
+// which is a pass/fail exercise of the Section II sampling limits.
+func RenderMeasurementRates() *report.Table {
+	t := report.NewTable("ADC daughter-board rate limits (Section II)",
+		"check", "result")
+	t.AddRow(fmt.Sprintf("all channels @ %s", report.FormatSI(power.MaxAllChannelHz)+"S/s"), "ok")
+	t.AddRow(fmt.Sprintf("single channel @ %s", report.FormatSI(power.MaxSingleChannelHz)+"S/s"), "ok")
+	t.AddRow("over-rate trace rejected", "ok")
+	return t
 }
 
 // BootCost boots a four-core job over the network through the bridge

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"testing"
+
+	"swallow/internal/harness"
+	"swallow/internal/harness/sweep"
+)
+
+// TestRegistryComplete pins the registered artifact set and its
+// canonical order: drivers iterate the registry, so a lost or
+// reordered registration silently changes every driver's output.
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4",
+		"eq2", "latency", "goodput", "ec", "survey-ec", "placement",
+		"ablation-routing", "ablation-links", "ablation-placement",
+		"bridge", "boot", "energy", "adc",
+	}
+	got := harness.Names()
+	if len(got) != len(want) {
+		t.Fatalf("registered %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("artifact %d = %q, want %q (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// TestParallelMatchesSerialGolden is the determinism contract of the
+// parallel sweep engine: for every registered artifact, a run with
+// sweeps fanned out across many goroutines must render byte-identical
+// to a serial run. Each sweep point owns its kernel and machine, so
+// parallelism is allowed to change wall-clock time and nothing else.
+func TestParallelMatchesSerialGolden(t *testing.T) {
+	cfg := harness.QuickConfig()
+	prev := sweep.Concurrency()
+	defer sweep.SetConcurrency(prev)
+
+	for _, a := range harness.Artifacts() {
+		sweep.SetConcurrency(1)
+		serial, err := a.Table(cfg)
+		if err != nil {
+			t.Fatalf("%s (serial): %v", a.Name, err)
+		}
+		// More workers than any sweep has points, to maximise
+		// interleaving.
+		sweep.SetConcurrency(16)
+		parallel, err := a.Table(cfg)
+		if err != nil {
+			t.Fatalf("%s (parallel): %v", a.Name, err)
+		}
+		if s, p := serial.String(), parallel.String(); s != p {
+			t.Errorf("%s: parallel output diverges from serial.\n--- serial ---\n%s\n--- parallel ---\n%s", a.Name, s, p)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"swallow/internal/core"
+	"swallow/internal/harness/sweep"
 	"swallow/internal/metrics"
 	"swallow/internal/noc"
 	"swallow/internal/report"
@@ -81,8 +82,7 @@ func Latencies() ([]LatencyRow, error) {
 		{"cross-package word", topo.MakeNodeID(0, 0, topo.LayerV), topo.MakeNodeID(0, 1, topo.LayerV), 360, 45},
 		{"cross-board word", topo.MakeNodeID(0, 0, topo.LayerH), topo.MakeNodeID(2, 0, topo.LayerH), 0, 0},
 	}
-	var rows []LatencyRow
-	for _, p := range placements {
+	return sweep.Map(placements, func(_ int, p placement) (LatencyRow, error) {
 		var lat sim.Time
 		var err error
 		if p.a == p.b {
@@ -91,18 +91,17 @@ func Latencies() ([]LatencyRow, error) {
 			lat, err = wordLatency(p.a, p.b)
 		}
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", p.name, err)
+			return LatencyRow{}, fmt.Errorf("%s: %w", p.name, err)
 		}
 		ns := lat.Nanoseconds()
-		rows = append(rows, LatencyRow{
+		return LatencyRow{
 			Name:           p.name,
 			PaperNS:        p.paperNS,
 			PaperInstrs:    p.paperInstrs,
 			MeasuredNS:     ns,
 			MeasuredInstrs: ns / instrTimeNS,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // coreLocalWordLatency ping-pongs between two threads of one core.
@@ -204,14 +203,14 @@ type GoodputPoint struct {
 	Analytic float64
 }
 
-// GoodputSweep measures packetised goodput across payload sizes.
+// GoodputSweep measures packetised goodput across payload sizes, one
+// independent network per point under sweep.Map.
 func GoodputSweep(payloads []int) ([]GoodputPoint, error) {
-	var out []GoodputPoint
-	for _, n := range payloads {
+	return sweep.Map(payloads, func(_ int, n int) (GoodputPoint, error) {
 		k := sim.NewKernel()
 		net, err := noc.NewNetwork(k, topo.MustSystem(1, 1), noc.OperatingConfig())
 		if err != nil {
-			return nil, err
+			return GoodputPoint{}, err
 		}
 		f := &workload.Flow{
 			Src:          net.Switch(topo.MakeNodeID(0, 0, topo.LayerV)).ChanEnd(0),
@@ -220,16 +219,15 @@ func GoodputSweep(payloads []int) ([]GoodputPoint, error) {
 			PacketTokens: n,
 		}
 		if err := workload.RunFlows(k, []*workload.Flow{f}, sim.Second); err != nil {
-			return nil, err
+			return GoodputPoint{}, err
 		}
 		rate := noc.TimingExternalOperating.BitRate()
-		out = append(out, GoodputPoint{
+		return GoodputPoint{
 			PayloadBytes: n,
 			Fraction:     f.GoodputBitsPerSec() / rate,
 			Analytic:     float64(n) / float64(n+noc.HeaderTokens+1),
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // RenderGoodput formats the sweep.
@@ -259,126 +257,121 @@ type ECRow struct {
 	MeasuredEC float64
 }
 
+// ecRegime is one Section V-D communication regime: its published
+// ratio, its execution-rate multiplier (cores driving the transfer)
+// and the saturating flow set that measures its C. A nil build means
+// the regime is issue-limited and C = E analytically.
+type ecRegime struct {
+	name  string
+	paper float64
+	eMult float64
+	build func(net *noc.Network) []*workload.Flow
+}
+
+// ecRegimes lists the Section V-D regimes in table order.
+func ecRegimes() []ecRegime {
+	return []ecRegime{
+		// Core-local: limited by instruction issue, not the network; the
+		// paper takes C = E = 16 Gbit/s.
+		{name: "core-local", paper: 1, eMult: 1},
+		// Package-internal: four links between the two cores of a package.
+		{name: "package-internal (4 links)", paper: 16, eMult: 1,
+			build: func(net *noc.Network) []*workload.Flow {
+				var fs []*workload.Flow
+				for i := 0; i < 4; i++ {
+					fs = append(fs, &workload.Flow{
+						Src:    net.Switch(topo.MakeNodeID(0, 0, topo.LayerV)).ChanEnd(uint8(i)),
+						Dst:    net.Switch(topo.MakeNodeID(0, 0, topo.LayerH)).ChanEnd(uint8(i)),
+						Tokens: 4000,
+					})
+				}
+				return fs
+			}},
+		// External: the paper counts four external links of 62.5 Mbit/s
+		// as the chip's external capacity. Four distinct external links
+		// leave package (0,1): V north, V south, H east from both cores
+		// of column 0 row 1.
+		{name: "external links (4 x 62.5M)", paper: 64, eMult: 1,
+			build: func(net *noc.Network) []*workload.Flow {
+				targets := []struct{ src, dst topo.NodeID }{
+					{topo.MakeNodeID(0, 1, topo.LayerV), topo.MakeNodeID(0, 0, topo.LayerV)},
+					{topo.MakeNodeID(0, 1, topo.LayerV), topo.MakeNodeID(0, 2, topo.LayerV)},
+					{topo.MakeNodeID(0, 1, topo.LayerH), topo.MakeNodeID(1, 1, topo.LayerH)},
+					{topo.MakeNodeID(1, 1, topo.LayerH), topo.MakeNodeID(0, 1, topo.LayerH)},
+				}
+				var fs []*workload.Flow
+				for i, t := range targets {
+					fs = append(fs, &workload.Flow{
+						Src:    net.Switch(t.src).ChanEnd(uint8(i)),
+						Dst:    net.Switch(t.dst).ChanEnd(uint8(i)),
+						Tokens: 2000,
+					})
+				}
+				return fs
+			}},
+		// Four threads contending one external link: the four packetised
+		// streams interleave over the single South link, so the measured
+		// C is that link's goodput and E is the full four-thread rate
+		// (paper: EC = 16 Gbit/s / 62.5 Mbit/s = 256).
+		{name: "one external link, 4 threads contending", paper: 256, eMult: 1,
+			build: func(net *noc.Network) []*workload.Flow {
+				var fs []*workload.Flow
+				for i := 0; i < 4; i++ {
+					fs = append(fs, &workload.Flow{
+						Src:          net.Switch(topo.MakeNodeID(0, 0, topo.LayerV)).ChanEnd(uint8(i)),
+						Dst:          net.Switch(topo.MakeNodeID(0, 1, topo.LayerV)).ChanEnd(uint8(i)),
+						Tokens:       2240,
+						PacketTokens: 112,
+					})
+				}
+				return fs
+			}},
+		// Slice bisection: eight flows, one per left-half core pair,
+		// crossing the vertical cut; all eight cores execute.
+		{name: "slice bisection (8 cores)", paper: 512, eMult: 8,
+			build: func(net *noc.Network) []*workload.Flow {
+				var fs []*workload.Flow
+				i := 0
+				for y := 0; y < 4; y++ {
+					for _, l := range []topo.Layer{topo.LayerV, topo.LayerH} {
+						fs = append(fs, &workload.Flow{
+							Src:          net.Switch(topo.MakeNodeID(0, y, l)).ChanEnd(uint8(i % 4)),
+							Dst:          net.Switch(topo.MakeNodeID(1, y, l)).ChanEnd(uint8(i % 4)),
+							Tokens:       2400,
+							PacketTokens: 120,
+						})
+						i++
+					}
+				}
+				return fs
+			}},
+	}
+}
+
 // ECRatios measures each Section V-D communication regime and forms
-// the EC ratios with Eq. 2's execution rates.
+// the EC ratios with Eq. 2's execution rates. Regimes saturate
+// independent networks, so they run under sweep.Map.
 func ECRatios() ([]ECRow, error) {
 	e := metrics.ExecutionBitRate(metrics.IPSCore(500e6, 4)) // 16 Gbit/s
-
-	measure := func(build func(k *sim.Kernel, net *noc.Network) []*workload.Flow) (float64, error) {
-		k := sim.NewKernel()
-		net, err := noc.NewNetwork(k, topo.MustSystem(1, 1), noc.OperatingConfig())
-		if err != nil {
-			return 0, err
-		}
-		flows := build(k, net)
-		if err := workload.RunFlows(k, flows, sim.Second); err != nil {
-			return 0, err
-		}
-		return workload.AggregateGoodput(flows), nil
-	}
-
-	var rows []ECRow
-	add := func(name string, paper float64, c float64) {
-		rows = append(rows, ECRow{
-			Name: name, PaperEC: paper, EBps: e,
-			MeasuredCBps: c, MeasuredEC: metrics.EC(e, c),
-		})
-	}
-
-	// Core-local: limited by instruction issue, not the network; the
-	// paper takes C = E = 16 Gbit/s.
-	add("core-local", 1, e)
-
-	// Package-internal: four links between the two cores of a package.
-	cInternal, err := measure(func(k *sim.Kernel, net *noc.Network) []*workload.Flow {
-		var fs []*workload.Flow
-		for i := 0; i < 4; i++ {
-			fs = append(fs, &workload.Flow{
-				Src:    net.Switch(topo.MakeNodeID(0, 0, topo.LayerV)).ChanEnd(uint8(i)),
-				Dst:    net.Switch(topo.MakeNodeID(0, 0, topo.LayerH)).ChanEnd(uint8(i)),
-				Tokens: 4000,
-			})
-		}
-		return fs
-	})
-	if err != nil {
-		return nil, err
-	}
-	add("package-internal (4 links)", 16, cInternal)
-
-	// External: one core's two external links... the paper counts four
-	// external links of 62.5 Mbit/s as the chip's external capacity.
-	cExternal, err := measure(func(k *sim.Kernel, net *noc.Network) []*workload.Flow {
-		// Four distinct external links leaving package (0,1): V north,
-		// V south, H east from both cores of column 0 row 1.
-		targets := []struct{ src, dst topo.NodeID }{
-			{topo.MakeNodeID(0, 1, topo.LayerV), topo.MakeNodeID(0, 0, topo.LayerV)},
-			{topo.MakeNodeID(0, 1, topo.LayerV), topo.MakeNodeID(0, 2, topo.LayerV)},
-			{topo.MakeNodeID(0, 1, topo.LayerH), topo.MakeNodeID(1, 1, topo.LayerH)},
-			{topo.MakeNodeID(1, 1, topo.LayerH), topo.MakeNodeID(0, 1, topo.LayerH)},
-		}
-		var fs []*workload.Flow
-		for i, t := range targets {
-			fs = append(fs, &workload.Flow{
-				Src:    net.Switch(t.src).ChanEnd(uint8(i)),
-				Dst:    net.Switch(t.dst).ChanEnd(uint8(i)),
-				Tokens: 2000,
-			})
-		}
-		return fs
-	})
-	if err != nil {
-		return nil, err
-	}
-	add("external links (4 x 62.5M)", 64, cExternal)
-
-	// Four threads contending one external link: the four packetised
-	// streams interleave over the single South link, so the measured C
-	// is that link's goodput and E is the full four-thread rate
-	// (paper: EC = 16 Gbit/s / 62.5 Mbit/s = 256).
-	cContended, err := measure(func(k *sim.Kernel, net *noc.Network) []*workload.Flow {
-		var fs []*workload.Flow
-		for i := 0; i < 4; i++ {
-			fs = append(fs, &workload.Flow{
-				Src:          net.Switch(topo.MakeNodeID(0, 0, topo.LayerV)).ChanEnd(uint8(i)),
-				Dst:          net.Switch(topo.MakeNodeID(0, 1, topo.LayerV)).ChanEnd(uint8(i)),
-				Tokens:       2240,
-				PacketTokens: 112,
-			})
-		}
-		return fs
-	})
-	if err != nil {
-		return nil, err
-	}
-	add("one external link, 4 threads contending", 256, cContended)
-
-	// Slice bisection: eight flows, one per left-half core pair,
-	// crossing the vertical cut.
-	cBisect, err := measure(func(k *sim.Kernel, net *noc.Network) []*workload.Flow {
-		var fs []*workload.Flow
-		i := 0
-		for y := 0; y < 4; y++ {
-			for _, l := range []topo.Layer{topo.LayerV, topo.LayerH} {
-				fs = append(fs, &workload.Flow{
-					Src:          net.Switch(topo.MakeNodeID(0, y, l)).ChanEnd(uint8(i % 4)),
-					Dst:          net.Switch(topo.MakeNodeID(1, y, l)).ChanEnd(uint8(i % 4)),
-					Tokens:       2400,
-					PacketTokens: 120,
-				})
-				i++
+	return sweep.Map(ecRegimes(), func(_ int, r ecRegime) (ECRow, error) {
+		c := r.eMult * e // issue-limited regimes: C = E
+		if r.build != nil {
+			k := sim.NewKernel()
+			net, err := noc.NewNetwork(k, topo.MustSystem(1, 1), noc.OperatingConfig())
+			if err != nil {
+				return ECRow{}, err
 			}
+			flows := r.build(net)
+			if err := workload.RunFlows(k, flows, sim.Second); err != nil {
+				return ECRow{}, err
+			}
+			c = workload.AggregateGoodput(flows)
 		}
-		return fs
+		return ECRow{
+			Name: r.name, PaperEC: r.paper, EBps: r.eMult * e,
+			MeasuredCBps: c, MeasuredEC: metrics.EC(r.eMult*e, c),
+		}, nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	rows = append(rows, ECRow{
-		Name: "slice bisection (8 cores)", PaperEC: 512, EBps: 8 * e,
-		MeasuredCBps: cBisect, MeasuredEC: metrics.EC(8*e, cBisect),
-	})
-	return rows, nil
 }
 
 // RenderEC formats the table.
@@ -404,30 +397,29 @@ type Eq2Point struct {
 	MeasuredIPS float64
 }
 
-// Eq2 measures aggregate instruction rate against thread count.
+// Eq2 measures aggregate instruction rate against thread count, one
+// independent machine per count under sweep.Map.
 func Eq2(iters int) ([]Eq2Point, error) {
-	var out []Eq2Point
-	for _, nt := range []int{1, 2, 3, 4, 5, 6, 7, 8} {
+	return sweep.Map([]int{1, 2, 3, 4, 5, 6, 7, 8}, func(_ int, nt int) (Eq2Point, error) {
 		m, err := core.New(1, 1, core.Options{})
 		if err != nil {
-			return nil, err
+			return Eq2Point{}, err
 		}
 		node := topo.MakeNodeID(0, 0, topo.LayerV)
 		if err := m.Load(node, workload.BusyLoop(nt, iters)); err != nil {
-			return nil, err
+			return Eq2Point{}, err
 		}
 		if err := m.Run(sim.Second); err != nil {
-			return nil, err
+			return Eq2Point{}, err
 		}
 		c := m.Core(node)
 		ips := float64(c.InstrCount) / c.LastIssue.Seconds()
-		out = append(out, Eq2Point{
+		return Eq2Point{
 			Threads:     nt,
 			ModelIPS:    metrics.IPSCore(500e6, nt),
 			MeasuredIPS: ips,
-		})
-	}
-	return out, nil
+		}, nil
+	})
 }
 
 // RenderEq2 formats the series.
@@ -488,15 +480,15 @@ func AblationRouting() ([]AblationRoutingResult, error) {
 
 // AblationLinks measures aggregate package-internal throughput as the
 // enabled internal link count varies (Section V-B link aggregation).
+// Each link count saturates its own network under sweep.Map.
 func AblationLinks() (map[int]float64, error) {
-	out := make(map[int]float64)
-	for links := 1; links <= 4; links++ {
+	rates, err := sweep.Map([]int{1, 2, 3, 4}, func(_ int, links int) (float64, error) {
 		cfg := noc.OperatingConfig()
 		cfg.InternalLinks = links
 		k := sim.NewKernel()
 		net, err := noc.NewNetwork(k, topo.MustSystem(1, 1), cfg)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		var fs []*workload.Flow
 		for i := 0; i < 4; i++ {
@@ -508,11 +500,44 @@ func AblationLinks() (map[int]float64, error) {
 			})
 		}
 		if err := workload.RunFlows(k, fs, sim.Second); err != nil {
-			return nil, err
+			return 0, err
 		}
-		out[links] = workload.AggregateGoodput(fs)
+		return workload.AggregateGoodput(fs), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int]float64, len(rates))
+	for i, r := range rates {
+		out[i+1] = r
 	}
 	return out, nil
+}
+
+// RenderAblationLinks formats the link-aggregation sweep in link-count
+// order.
+func RenderAblationLinks(res map[int]float64) *report.Table {
+	t := report.NewTable("Ablation: internal link aggregation (4 flows)",
+		"enabled links", "aggregate goodput", "vs 1 link")
+	for links := 1; links <= 4; links++ {
+		t.AddRow(fmt.Sprintf("%d", links),
+			report.FormatSI(res[links])+"bit/s",
+			fmt.Sprintf("%.2fx", res[links]/res[1]))
+	}
+	return t
+}
+
+// RenderAblationRouting formats the route-policy ablation.
+func RenderAblationRouting(res []AblationRoutingResult) *report.Table {
+	t := report.NewTable("Ablation: route policy over all node pairs (2x2 slices)",
+		"policy", "mean path length", "mean layer transitions", "max transitions")
+	for _, r := range res {
+		t.AddRow(r.Policy.String(),
+			fmt.Sprintf("%.2f", r.MeanPathLength),
+			fmt.Sprintf("%.2f", r.MeanTransitions),
+			fmt.Sprintf("%d", r.MaxTransitions))
+	}
+	return t
 }
 
 // SystemScale is the Fig. 1 / Section III-A headline: the assembled

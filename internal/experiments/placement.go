@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"swallow/internal/core"
+	"swallow/internal/harness/sweep"
 	"swallow/internal/noc"
 	"swallow/internal/report"
 	"swallow/internal/sim"
@@ -44,18 +45,14 @@ func PipelinePlacement(items int) ([]PlacementEnergyResult, error) {
 		topo.MakeNodeID(3, 0, topo.LayerH),
 		topo.MakeNodeID(1, 4, topo.LayerV),
 	}
-	var out []PlacementEnergyResult
-	for _, pl := range []struct {
+	type pipelineVariant struct {
 		name  string
 		nodes []topo.NodeID
-	}{{"chip-local", local}, {"scattered", scattered}} {
-		res, err := runPipeline(pl.name, pl.nodes, items)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, res)
 	}
-	return out, nil
+	variants := []pipelineVariant{{"chip-local", local}, {"scattered", scattered}}
+	return sweep.Map(variants, func(_ int, pl pipelineVariant) (PlacementEnergyResult, error) {
+		return runPipeline(pl.name, pl.nodes, items)
+	})
 }
 
 func runPipeline(name string, nodes []topo.NodeID, items int) (PlacementEnergyResult, error) {

@@ -1,0 +1,236 @@
+package experiments
+
+// This file is the single registration point of the experiment
+// surface: every table and figure of the paper (and the extension
+// experiments) files itself once with the harness registry, and
+// cmd/swallow-tables, bench_test.go and the golden determinism test
+// all become loops over harness.Artifacts(). Registration order is
+// the canonical output order.
+
+import (
+	"fmt"
+
+	"swallow/internal/harness"
+	"swallow/internal/nos"
+	"swallow/internal/report"
+)
+
+// Fig3WithFit bundles the Fig. 3 sweep with its Eq. 1 fit so the
+// rendered table can carry the fit row.
+type Fig3WithFit struct {
+	Points                         []Fig3Point
+	SlopeMWPerMHz, InterceptMW, R2 float64
+}
+
+// goodputPayloads is the canonical Section V-B payload grid.
+var goodputPayloads = []int{4, 8, 16, 28, 48, 96}
+
+// placementItems is the canonical pipeline-placement workload size.
+const placementItems = 150
+
+func init() {
+	harness.Register(harness.Spec[[]TableIRow]{
+		Name:   "table1",
+		Run:    func(harness.Config) ([]TableIRow, error) { return TableI() },
+		Render: RenderTableI,
+		Metrics: func(rows []TableIRow) map[string]float64 {
+			m := make(map[string]float64)
+			for _, r := range rows {
+				m[harness.MetricName(r.Class.String(), "pJ/bit")] = r.MeasuredPJPerBit
+			}
+			return m
+		},
+	})
+	registerSurveyTables()
+	harness.Register(harness.Spec[SystemScale]{
+		Name:   "fig1",
+		Run:    func(cfg harness.Config) (SystemScale, error) { return Scale(cfg.Iters) },
+		Render: RenderScale,
+		Metrics: func(s SystemScale) map[string]float64 {
+			return map[string]float64{"GIPS": s.PeakGIPS, "loaded_W": s.LoadedWallW}
+		},
+	})
+	harness.Register(harness.Spec[Fig2Result]{
+		Name:   "fig2",
+		Run:    func(cfg harness.Config) (Fig2Result, error) { return Fig2(cfg.Iters) },
+		Render: RenderFig2,
+		Metrics: func(r Fig2Result) map[string]float64 {
+			return map[string]float64{"node_mW": r.NodeTotalW * 1e3, "compute_mW": r.ComputationW * 1e3}
+		},
+	})
+	harness.Register(harness.Spec[Fig3WithFit]{
+		Name: "fig3",
+		Run: func(cfg harness.Config) (Fig3WithFit, error) {
+			points, err := Fig3(cfg.Iters)
+			if err != nil {
+				return Fig3WithFit{}, err
+			}
+			slope, intercept, r2, err := Fig3Fit(points)
+			if err != nil {
+				return Fig3WithFit{}, err
+			}
+			return Fig3WithFit{Points: points, SlopeMWPerMHz: slope, InterceptMW: intercept, R2: r2}, nil
+		},
+		Render: func(f Fig3WithFit) *report.Table {
+			t := RenderFig3(f.Points)
+			t.AddRow("(fit)", fmt.Sprintf("Pc = %.1f + %.3f f", f.InterceptMW, f.SlopeMWPerMHz),
+				fmt.Sprintf("r2 = %.5f", f.R2), "paper: 46 + 0.30 f", "")
+			return t
+		},
+		Metrics: func(f Fig3WithFit) map[string]float64 {
+			return map[string]float64{
+				"slope_mW/MHz": f.SlopeMWPerMHz, "intercept_mW": f.InterceptMW, "r2": f.R2,
+			}
+		},
+	})
+	harness.Register(harness.Spec[[]Fig4Point]{
+		Name:   "fig4",
+		Run:    func(cfg harness.Config) ([]Fig4Point, error) { return Fig4(cfg.Iters) },
+		Render: RenderFig4,
+		Metrics: func(points []Fig4Point) map[string]float64 {
+			last := points[len(points)-1]
+			return map[string]float64{"dvfs_500MHz_mW": last.PowerDVFSW * 1e3}
+		},
+	})
+	harness.Register(harness.Spec[[]Eq2Point]{
+		Name:   "eq2",
+		Run:    func(cfg harness.Config) ([]Eq2Point, error) { return Eq2(cfg.Iters) },
+		Render: RenderEq2,
+		Metrics: func(points []Eq2Point) map[string]float64 {
+			m := make(map[string]float64)
+			for _, p := range points {
+				if p.Threads == 1 || p.Threads == 4 || p.Threads == 8 {
+					m[fmt.Sprintf("MIPS_nt%d", p.Threads)] = p.MeasuredIPS / 1e6
+				}
+			}
+			return m
+		},
+	})
+	harness.Register(harness.Spec[[]LatencyRow]{
+		Name:   "latency",
+		Run:    func(harness.Config) ([]LatencyRow, error) { return Latencies() },
+		Render: RenderLatencies,
+		Metrics: func(rows []LatencyRow) map[string]float64 {
+			m := make(map[string]float64)
+			for _, r := range rows {
+				m[harness.MetricName(r.Name, "ns")] = r.MeasuredNS
+			}
+			return m
+		},
+	})
+	harness.Register(harness.Spec[[]GoodputPoint]{
+		Name:   "goodput",
+		Run:    func(harness.Config) ([]GoodputPoint, error) { return GoodputSweep(goodputPayloads) },
+		Render: RenderGoodput,
+		Metrics: func(points []GoodputPoint) map[string]float64 {
+			m := make(map[string]float64)
+			for _, p := range points {
+				if p.PayloadBytes == 28 {
+					m["goodput_28B_%"] = p.Fraction * 100
+				}
+			}
+			return m
+		},
+	})
+	harness.Register(harness.Spec[[]ECRow]{
+		Name:   "ec",
+		Run:    func(harness.Config) ([]ECRow, error) { return ECRatios() },
+		Render: RenderEC,
+		Metrics: func(rows []ECRow) map[string]float64 {
+			last := rows[len(rows)-1]
+			return map[string]float64{
+				"bisection_EC":     last.MeasuredEC,
+				"bisection_Mbit/s": last.MeasuredCBps / 1e6,
+			}
+		},
+	})
+	registerSurveyEC()
+	harness.Register(harness.Spec[[]PlacementEnergyResult]{
+		Name:   "placement",
+		Run:    func(harness.Config) ([]PlacementEnergyResult, error) { return PipelinePlacement(placementItems) },
+		Render: RenderPlacement,
+		Metrics: func(rows []PlacementEnergyResult) map[string]float64 {
+			m := make(map[string]float64)
+			for _, r := range rows {
+				m[harness.MetricName(r.Name, "nJ/item")] = r.EnergyPerItemJ * 1e9
+				m[harness.MetricName(r.Name, "us")] = r.Elapsed.Seconds() * 1e6
+			}
+			return m
+		},
+	})
+	harness.Register(harness.Spec[[]AblationRoutingResult]{
+		Name:   "ablation-routing",
+		Run:    func(harness.Config) ([]AblationRoutingResult, error) { return AblationRouting() },
+		Render: RenderAblationRouting,
+		Metrics: func(res []AblationRoutingResult) map[string]float64 {
+			m := make(map[string]float64)
+			for _, r := range res {
+				m[r.Policy.String()+"_pathlen"] = r.MeanPathLength
+				m[r.Policy.String()+"_xings"] = r.MeanTransitions
+			}
+			return m
+		},
+	})
+	harness.Register(harness.Spec[map[int]float64]{
+		Name:   "ablation-links",
+		Run:    func(harness.Config) (map[int]float64, error) { return AblationLinks() },
+		Render: RenderAblationLinks,
+		Metrics: func(res map[int]float64) map[string]float64 {
+			m := make(map[string]float64)
+			for links := 1; links <= 4; links++ {
+				m[fmt.Sprintf("links%d_Mbit/s", links)] = res[links] / 1e6
+			}
+			return m
+		},
+	})
+	harness.Register(harness.Spec[map[string]float64]{
+		Name:   "ablation-placement",
+		Run:    func(harness.Config) (map[string]float64, error) { return AblationPlacement() },
+		Render: RenderAblationPlacement,
+		Metrics: func(res map[string]float64) map[string]float64 {
+			m := make(map[string]float64)
+			for _, p := range streamPlacements {
+				m[harness.MetricName(p.name, "Mbit/s")] = res[p.name] / 1e6
+			}
+			return m
+		},
+	})
+	harness.Register(harness.Spec[float64]{
+		Name:   "bridge",
+		Run:    func(harness.Config) (float64, error) { return BridgeRate() },
+		Render: RenderBridgeRate,
+		Metrics: func(rate float64) map[string]float64 {
+			return map[string]float64{"bridge_Mbit/s": rate / 1e6}
+		},
+	})
+	harness.Register(harness.Spec[nos.BootStats]{
+		Name:   "boot",
+		Run:    func(harness.Config) (nos.BootStats, error) { return BootCost() },
+		Render: RenderBootCost,
+		Metrics: func(st nos.BootStats) map[string]float64 {
+			return map[string]float64{
+				"image_bytes": float64(st.ImageBytes),
+				"boot_us":     st.Elapsed.Seconds() * 1e6,
+			}
+		},
+	})
+	harness.Register(harness.Spec[EnergyCompare]{
+		Name:   "energy",
+		Run:    func(harness.Config) (EnergyCompare, error) { return ComputeVsComm(), nil },
+		Render: RenderEnergyCompare,
+		Metrics: func(e EnergyCompare) map[string]float64 {
+			return map[string]float64{
+				"compute_lo_pJ/bit":  e.ComputeLoPJ,
+				"compute_hi_pJ/bit":  e.ComputeHiPJ,
+				"onchip_link_pJ/bit": e.OnChipLinkPJ,
+			}
+		},
+	})
+	harness.Register(harness.Spec[struct{}]{
+		Name: "adc",
+		Run: func(harness.Config) (struct{}, error) {
+			return struct{}{}, MeasurementRates()
+		},
+		Render: func(struct{}) *report.Table { return RenderMeasurementRates() },
+	})
+}

@@ -3,9 +3,42 @@ package experiments
 import (
 	"fmt"
 
+	"swallow/internal/harness"
 	"swallow/internal/report"
 	"swallow/internal/survey"
 )
+
+// registerSurveyTables files the survey-backed Table II/III artifacts.
+// Called from registry.go, which owns the canonical artifact order.
+func registerSurveyTables() {
+	harness.Register(harness.Spec[*report.Table]{
+		Name:   "table2",
+		Run:    func(harness.Config) (*report.Table, error) { return RenderTableII() },
+		Render: func(t *report.Table) *report.Table { return t },
+	})
+	harness.Register(harness.Spec[*report.Table]{
+		Name:   "table3",
+		Run:    func(harness.Config) (*report.Table, error) { return RenderTableIII(), nil },
+		Render: func(t *report.Table) *report.Table { return t },
+		Metrics: func(*report.Table) map[string]float64 {
+			sw, _ := survey.SystemByName("Swallow")
+			return map[string]float64{"swallow_uW/MHz_derived": sw.DerivedUWPerMHz()}
+		},
+	})
+}
+
+// registerSurveyEC files the Section VI related-work EC artifact.
+func registerSurveyEC() {
+	harness.Register(harness.Spec[*report.Table]{
+		Name:   "survey-ec",
+		Run:    func(harness.Config) (*report.Table, error) { return RenderSurveyEC(), nil },
+		Render: func(t *report.Table) *report.Table { return t },
+		Metrics: func(*report.Table) map[string]float64 {
+			lo, hi := survey.ECRange()
+			return map[string]float64{"EC_lo": lo, "EC_hi": hi}
+		},
+	})
+}
 
 // RenderTableII formats the candidate-processor comparison with the
 // requirement verdict recomputed from the predicate.

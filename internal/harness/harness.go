@@ -1,0 +1,144 @@
+// Package harness is the experiment registry that cmd/swallow-tables,
+// the root benchmark harness and the golden determinism tests all
+// drive. Each table or figure of the paper registers exactly once —
+// a name, a Run that regenerates it from simulation, and a Render
+// that formats the result — and every driver becomes a loop over
+// Artifacts() instead of a hand-maintained list.
+//
+// Runs take a Config (workload-length knob today) and return a typed
+// result; Register erases the type so heterogeneous artifacts share
+// one registry, while the generic Spec keeps each registration
+// type-checked. Inner sweep loops run through sweep.Map, so a driver
+// that raises sweep.SetConcurrency fans points across goroutines
+// without changing a byte of output.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"swallow/internal/report"
+)
+
+// MetricName sanitises label parts into a benchmark metric unit (no
+// whitespace allowed in testing.B.ReportMetric units).
+func MetricName(parts ...string) string {
+	s := strings.Join(parts, "_")
+	s = strings.ReplaceAll(s, " ", "-")
+	s = strings.ReplaceAll(s, ",", "+")
+	return s
+}
+
+// Config carries the run-size knobs shared by every artifact.
+type Config struct {
+	// Iters is the per-thread workload length for the settling
+	// experiments (power and throughput measurements).
+	Iters int
+}
+
+// DefaultConfig is the settled-measurement configuration the CLI and
+// golden comparisons use by default.
+func DefaultConfig() Config { return Config{Iters: 20000} }
+
+// QuickConfig trades measurement settling for speed (swallow-tables
+// -quick, smoke tests).
+func QuickConfig() Config { return Config{Iters: 5000} }
+
+// Artifact is one registered table or figure, type-erased. Use
+// Register to build one from a typed Spec.
+type Artifact struct {
+	// Name is the stable CLI/bench identifier, e.g. "fig3".
+	Name string
+	// Run regenerates the artifact from simulation.
+	Run func(Config) (any, error)
+	// Render formats a Run result.
+	Render func(any) *report.Table
+	// Metrics extracts named headline quantities from a Run result for
+	// benchmark reporting. May be nil.
+	Metrics func(any) map[string]float64
+}
+
+// Table runs the artifact and renders it in one step.
+func (a *Artifact) Table(cfg Config) (*report.Table, error) {
+	res, err := a.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return a.Render(res), nil
+}
+
+// SortedMetrics returns the artifact's metrics for a result as a
+// name-sorted list, for deterministic reporting order.
+func (a *Artifact) SortedMetrics(res any) []Metric {
+	if a.Metrics == nil {
+		return nil
+	}
+	m := a.Metrics(res)
+	out := make([]Metric, 0, len(m))
+	for name, v := range m {
+		out = append(out, Metric{Name: name, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Metric is one named headline quantity of an artifact run.
+type Metric struct {
+	Name  string
+	Value float64
+}
+
+// Spec is a typed registration. Render is required; Metrics optional.
+type Spec[R any] struct {
+	Name    string
+	Run     func(Config) (R, error)
+	Render  func(R) *report.Table
+	Metrics func(R) map[string]float64
+}
+
+var registry []*Artifact
+
+// Register files a typed artifact spec in the registry. Registration
+// order is the canonical listing order. Duplicate or empty names and
+// missing hooks are programming errors and panic.
+func Register[R any](s Spec[R]) {
+	if s.Name == "" || s.Run == nil || s.Render == nil {
+		panic(fmt.Sprintf("harness: artifact %q incompletely specified", s.Name))
+	}
+	if Lookup(s.Name) != nil {
+		panic(fmt.Sprintf("harness: artifact %q registered twice", s.Name))
+	}
+	a := &Artifact{
+		Name:   s.Name,
+		Run:    func(cfg Config) (any, error) { return s.Run(cfg) },
+		Render: func(res any) *report.Table { return s.Render(res.(R)) },
+	}
+	if s.Metrics != nil {
+		a.Metrics = func(res any) map[string]float64 { return s.Metrics(res.(R)) }
+	}
+	registry = append(registry, a)
+}
+
+// Artifacts lists every registered artifact in registration order.
+// The returned slice is shared; do not mutate it.
+func Artifacts() []*Artifact { return registry }
+
+// Lookup returns the artifact registered under name, or nil.
+func Lookup(name string) *Artifact {
+	for _, a := range registry {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Names lists the registered artifact names in registration order.
+func Names() []string {
+	names := make([]string, len(registry))
+	for i, a := range registry {
+		names[i] = a.Name
+	}
+	return names
+}

@@ -1,0 +1,101 @@
+// Package sweep fans independent experiment points out across
+// goroutines. Every table and figure sweep in this repository shares
+// one shape: a small grid of points (frequencies, thread counts,
+// payload sizes, placements), each of which builds its own sim.Kernel
+// and machine, runs it, and reduces to one result value. Points share
+// nothing mutable — only read-only spec tables — so they may run
+// concurrently without changing any result.
+//
+// Map preserves that contract: results come back in point order, and
+// the error returned is the lowest-indexed failure, exactly the one a
+// serial loop would have hit first. Parallelism therefore changes
+// wall-clock time only; outputs are byte-identical to a serial run.
+package sweep
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// concurrency is the process-wide worker cap for Map; <= 1 means run
+// serially inline. Drivers (cmd/swallow-tables, tests) set it before
+// launching runs.
+var concurrency atomic.Int64
+
+func init() { concurrency.Store(int64(runtime.GOMAXPROCS(0))) }
+
+// SetConcurrency caps the number of worker goroutines Map may use.
+// n < 1 resets to GOMAXPROCS. It applies process-wide to subsequent
+// Map calls.
+func SetConcurrency(n int) {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	concurrency.Store(int64(n))
+}
+
+// Concurrency reports the current worker cap.
+func Concurrency() int { return int(concurrency.Load()) }
+
+// Map runs worker over every point and returns the results in point
+// order. With concurrency > 1 the points run on up to that many
+// goroutines; each point must be self-contained (own kernel, own
+// machine) and may touch shared state only read-only. On failure Map
+// returns the error of the lowest-indexed failing point — the same
+// error a serial loop returns — with all results discarded.
+func Map[P, R any](points []P, worker func(i int, p P) (R, error)) ([]R, error) {
+	results := make([]R, len(points))
+	workers := Concurrency()
+	if workers > len(points) {
+		workers = len(points)
+	}
+	if workers <= 1 {
+		for i, p := range points {
+			r, err := worker(i, p)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+	errs := make([]error, len(points))
+	var next atomic.Int64
+	// failed tracks the lowest failed index; points above it can no
+	// longer influence the result (everything is discarded on error),
+	// so unstarted ones are skipped. Workers take indices in ascending
+	// order, so a skipped point is never below a running one and the
+	// lowest-indexed-error contract is preserved.
+	var failed atomic.Int64
+	failed.Store(int64(len(points)))
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(points) || int64(i) > failed.Load() {
+					return
+				}
+				results[i], errs[i] = worker(i, points[i])
+				if errs[i] != nil {
+					for {
+						cur := failed.Load()
+						if int64(i) >= cur || failed.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

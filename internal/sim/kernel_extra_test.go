@@ -18,16 +18,16 @@ func TestKernelRunUntilEmptyWindow(t *testing.T) {
 	k := NewKernel()
 	var got []Time
 	k.At(10, func() { got = append(got, k.Now()) })
-	k.At(5*wheelSpan, func() { got = append(got, k.Now()) })
-	k.RunUntil(2 * wheelSpan) // fires 10, clock lands mid-gap
-	if k.Now() != 2*wheelSpan {
-		t.Fatalf("Now = %v, want %v", k.Now(), 2*wheelSpan)
+	k.At(5*defaultWheelSpan, func() { got = append(got, k.Now()) })
+	k.RunUntil(2 * defaultWheelSpan) // fires 10, clock lands mid-gap
+	if k.Now() != 2*defaultWheelSpan {
+		t.Fatalf("Now = %v, want %v", k.Now(), 2*defaultWheelSpan)
 	}
 	// Schedule between the deadline and the far pending event.
-	k.At(3*wheelSpan, func() { got = append(got, k.Now()) })
+	k.At(3*defaultWheelSpan, func() { got = append(got, k.Now()) })
 	k.At(k.Now()+1, func() { got = append(got, k.Now()) })
 	k.Run()
-	want := []Time{10, 2*wheelSpan + 1, 3 * wheelSpan, 5 * wheelSpan}
+	want := []Time{10, 2*defaultWheelSpan + 1, 3 * defaultWheelSpan, 5 * defaultWheelSpan}
 	if len(got) != len(want) {
 		t.Fatalf("fired %v, want %v", got, want)
 	}
@@ -43,11 +43,11 @@ func TestKernelHorizonBoundary(t *testing.T) {
 	// tiers but still fire in timestamp order.
 	k := NewKernel()
 	var got []Time
-	for _, d := range []Time{wheelSpan + 1, wheelSpan, wheelSpan - 1, 1, 2 * wheelSpan} {
+	for _, d := range []Time{defaultWheelSpan + 1, defaultWheelSpan, defaultWheelSpan - 1, 1, 2 * defaultWheelSpan} {
 		k.At(d, func() { got = append(got, k.Now()) })
 	}
 	k.Run()
-	want := []Time{1, wheelSpan - 1, wheelSpan, wheelSpan + 1, 2 * wheelSpan}
+	want := []Time{1, defaultWheelSpan - 1, defaultWheelSpan, defaultWheelSpan + 1, 2 * defaultWheelSpan}
 	for i := range want {
 		if got[i] != want[i] {
 			t.Fatalf("fired %v, want %v", got, want)
@@ -60,15 +60,15 @@ func TestKernelInterleavedTiers(t *testing.T) {
 	// still fire before later wheel events (the two-tier merge).
 	k := NewKernel()
 	var got []Time
-	k.At(wheelSpan+10, func() { got = append(got, k.Now()) }) // overflow at insert
-	k.At(quantum, func() {
+	k.At(defaultWheelSpan+10, func() { got = append(got, k.Now()) }) // overflow at insert
+	k.At(defaultQuantum, func() {
 		// Wheel has advanced; this lands after the overflow event in
 		// time but in the near tier.
-		k.At(wheelSpan+20, func() { got = append(got, k.Now()) })
+		k.At(defaultWheelSpan+20, func() { got = append(got, k.Now()) })
 	})
 	k.Run()
-	if len(got) != 2 || got[0] != wheelSpan+10 || got[1] != wheelSpan+20 {
-		t.Fatalf("fired %v, want [%v %v]", got, wheelSpan+10, wheelSpan+20)
+	if len(got) != 2 || got[0] != defaultWheelSpan+10 || got[1] != defaultWheelSpan+20 {
+		t.Fatalf("fired %v, want [%v %v]", got, defaultWheelSpan+10, defaultWheelSpan+20)
 	}
 }
 
@@ -160,9 +160,9 @@ func BenchmarkKernelMixedHorizon(b *testing.B) {
 			near.ArmAfter(2 * Nanosecond)
 		}
 	})
-	far = k.NewTimer(func() { far.ArmAfter(2 * wheelSpan) })
+	far = k.NewTimer(func() { far.ArmAfter(2 * defaultWheelSpan) })
 	near.ArmAfter(2 * Nanosecond)
-	far.ArmAfter(2 * wheelSpan)
+	far.ArmAfter(2 * defaultWheelSpan)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for n < b.N && k.Step() {
@@ -185,4 +185,52 @@ func BenchmarkKernelClosureEvents(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	k.Run()
+}
+
+// TestKernelQuantumOption exercises a kernel built with a non-default
+// wheel quantum: geometry accessors, ordering across the (now much
+// nearer) horizon, and FIFO ties — the contract must not depend on the
+// bucket width.
+func TestKernelQuantumOption(t *testing.T) {
+	k := NewKernel(WithQuantumShift(4))
+	if k.Quantum() != 16 || k.WheelSpan() != 16*numBuckets {
+		t.Fatalf("quantum = %v, span = %v", k.Quantum(), k.WheelSpan())
+	}
+	span := k.WheelSpan()
+	var got []Time
+	note := func() { got = append(got, k.Now()) }
+	// Far beyond the narrow horizon, inside it, a same-time FIFO pair,
+	// and one event in the current bucket.
+	k.At(3*span+5, note)
+	k.At(span/2, note)
+	order := []int{}
+	k.At(span/2, func() { order = append(order, 1) })
+	k.At(span/2, func() { order = append(order, 2) })
+	k.At(1, note)
+	k.Run()
+	want := []Time{1, span / 2, 3*span + 5}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("same-time FIFO order = %v", order)
+	}
+
+	// Default geometry is unchanged.
+	if d := NewKernel(); d.Quantum() != defaultQuantum || d.WheelSpan() != defaultWheelSpan {
+		t.Fatalf("default quantum = %v, span = %v", d.Quantum(), d.WheelSpan())
+	}
+
+	// Out-of-range shifts are programming errors.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WithQuantumShift(41) did not panic")
+		}
+	}()
+	WithQuantumShift(41)
 }

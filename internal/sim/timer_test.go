@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 )
@@ -171,7 +172,7 @@ func TestTimerFarFuture(t *testing.T) {
 	k := NewKernel()
 	var fires []Time
 	tm := k.NewTimer(func() { fires = append(fires, k.Now()) })
-	tm.ArmAt(10 * wheelSpan)
+	tm.ArmAt(10 * defaultWheelSpan)
 	tm.ArmAt(100)
 	k.Run()
 	if len(fires) != 1 || fires[0] != 100 {
@@ -179,10 +180,10 @@ func TestTimerFarFuture(t *testing.T) {
 	}
 	// And the reverse: near registration abandoned for a far one.
 	tm.ArmAt(200)
-	tm.ArmAt(20 * wheelSpan)
+	tm.ArmAt(20 * defaultWheelSpan)
 	k.Run()
-	if len(fires) != 2 || fires[1] != 20*wheelSpan {
-		t.Errorf("fires = %v, want second at %v", fires, 20*wheelSpan)
+	if len(fires) != 2 || fires[1] != 20*defaultWheelSpan {
+		t.Errorf("fires = %v, want second at %v", fires, 20*defaultWheelSpan)
 	}
 }
 
@@ -212,8 +213,8 @@ func TestTimerSteadyStateZeroAlloc(t *testing.T) {
 func TestTimerFarRearmZeroAlloc(t *testing.T) {
 	k := NewKernel()
 	var tm *Timer
-	tm = k.NewTimer(func() { tm.ArmAfter(2 * wheelSpan) })
-	tm.ArmAfter(2 * wheelSpan)
+	tm = k.NewTimer(func() { tm.ArmAfter(2 * defaultWheelSpan) })
+	tm.ArmAfter(2 * defaultWheelSpan)
 	for i := 0; i < 64; i++ {
 		k.Step()
 	}
@@ -278,11 +279,22 @@ func (r *refSched) run() {
 // TestKernelMatchesReference drives the ladder queue and a brute-force
 // reference scheduler through the same randomized schedule/cancel/re-arm
 // script and requires identical fire sequences: the determinism contract,
-// checked across bucket boundaries, horizon overflow and rebasing.
+// checked across bucket boundaries, horizon overflow and rebasing. The
+// script runs at the default wheel quantum and at a much narrower and a
+// much wider one (WithQuantumShift), which shifts the same schedule
+// between the two tiers without being allowed to change its order.
 func TestKernelMatchesReference(t *testing.T) {
+	for _, shift := range []int{defaultQuantumShift, 4, 18} {
+		t.Run(fmt.Sprintf("shift%d", shift), func(t *testing.T) {
+			kernelMatchesReference(t, shift)
+		})
+	}
+}
+
+func kernelMatchesReference(t *testing.T, shift int) {
 	for seed := int64(0); seed < 20; seed++ {
 		rng := rand.New(rand.NewSource(seed))
-		k := NewKernel()
+		k := NewKernel(WithQuantumShift(shift))
 		ref := &refSched{}
 		var got []uint64
 		var id uint64
@@ -300,11 +312,11 @@ func TestKernelMatchesReference(t *testing.T) {
 			// Mix near (same bucket), mid (in-wheel) and far (overflow).
 			switch rng.Intn(4) {
 			case 0:
-				return Time(rng.Int63n(int64(quantum)))
+				return Time(rng.Int63n(int64(k.Quantum())))
 			case 1:
-				return Time(rng.Int63n(int64(wheelSpan)))
+				return Time(rng.Int63n(int64(k.WheelSpan())))
 			default:
-				return Time(rng.Int63n(3 * int64(wheelSpan)))
+				return Time(rng.Int63n(3 * int64(k.WheelSpan())))
 			}
 		}
 
