@@ -1,0 +1,296 @@
+// Command swallow-load drives a running swallow-serve with a
+// configurable artifact mix and reports throughput and tail latency —
+// the ReqBench shape: a workload description, a concurrency knob, and
+// a closed or open request loop.
+//
+// Closed loop (default): -c workers each issue requests back-to-back,
+// so offered load adapts to service rate. Open loop (-rate R): R
+// arrivals per second regardless of completions, exposing queueing
+// delay under overload.
+//
+// Usage:
+//
+//	swallow-load [-url http://localhost:8080] [-c 4] [-n 100 | -d 10s]
+//	             [-rate R] [-artifacts regexp] [-quick] [-json]
+//
+// The artifact mix is discovered from GET /artifacts, filtered by
+// -artifacts, and cycled round-robin so runs are reproducible. Every
+// response is checked (status 200, non-empty body) and X-Cache headers
+// are tallied, so the report also shows the server's hit ratio.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"regexp"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// target is one artifact endpoint in the request mix.
+type target struct {
+	Name string `json:"name"`
+	URL  string `json:"url"`
+}
+
+// sample is one completed request.
+type sample struct {
+	latency time.Duration
+	bytes   int64
+	hit     bool
+	err     error
+}
+
+// stats is the aggregated run report.
+type stats struct {
+	Requests   int64    `json:"requests"`
+	Errors     int64    `json:"errors"`
+	CacheHits  int64    `json:"cache_hits"`
+	Bytes      int64    `json:"bytes"`
+	WallS      float64  `json:"wall_s"`
+	Throughput float64  `json:"throughput_rps"`
+	MeanMS     float64  `json:"mean_ms"`
+	P50MS      float64  `json:"p50_ms"`
+	P95MS      float64  `json:"p95_ms"`
+	P99MS      float64  `json:"p99_ms"`
+	MaxMS      float64  `json:"max_ms"`
+	Artifacts  []string `json:"artifacts"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("swallow-load: ")
+	baseURL := flag.String("url", "http://localhost:8080", "swallow-serve base URL")
+	conc := flag.Int("c", 4, "closed-loop worker count")
+	n := flag.Int64("n", 100, "total requests (0: unbounded, needs -d; ignored when only -d is given)")
+	dur := flag.Duration("d", 0, "run duration (0: until -n requests)")
+	rate := flag.Float64("rate", 0, "open-loop arrivals per second (0: closed loop)")
+	only := flag.String("artifacts", "", "regexp selecting the artifact mix (default: all)")
+	quick := flag.Bool("quick", false, "request quick (less settled) renders")
+	asJSON := flag.Bool("json", false, "emit the report as JSON")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-request timeout")
+	flag.Parse()
+
+	// -d without an explicit -n means "run for the duration": drop the
+	// default request cap so a 100-request default can't silently end a
+	// timed run early.
+	if *dur > 0 {
+		nSet := false
+		flag.Visit(func(f *flag.Flag) { nSet = nSet || f.Name == "n" })
+		if !nSet {
+			*n = 0
+		}
+	}
+	if *n <= 0 && *dur <= 0 {
+		log.Fatal("need -n > 0 or -d > 0")
+	}
+	if *conc < 1 {
+		log.Fatal("-c must be >= 1")
+	}
+	client := &http.Client{Timeout: *timeout}
+
+	mix, err := discover(client, *baseURL, *only)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range mix {
+		if *quick {
+			mix[i].URL += "?quick=1"
+		}
+	}
+
+	start := time.Now()
+	samples := run(client, mix, *conc, *n, *dur, *rate)
+	wall := time.Since(start)
+	st := reduce(samples, mix, wall)
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(st)
+	} else {
+		report(st)
+	}
+	if st.Errors > 0 {
+		os.Exit(1)
+	}
+}
+
+// discover fetches the artifact index and filters the mix.
+func discover(client *http.Client, base, pattern string) ([]target, error) {
+	resp, err := client.Get(base + "/artifacts")
+	if err != nil {
+		return nil, fmt.Errorf("discover: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("discover: GET /artifacts: %s", resp.Status)
+	}
+	var idx []struct {
+		Name string `json:"name"`
+		URL  string `json:"url"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&idx); err != nil {
+		return nil, fmt.Errorf("discover: decode /artifacts: %v", err)
+	}
+	var filter *regexp.Regexp
+	if pattern != "" {
+		if filter, err = regexp.Compile(pattern); err != nil {
+			return nil, fmt.Errorf("bad -artifacts pattern: %v", err)
+		}
+	}
+	var mix []target
+	for _, a := range idx {
+		if filter == nil || filter.MatchString(a.Name) {
+			mix = append(mix, target{Name: a.Name, URL: base + a.URL})
+		}
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("no artifact matches -artifacts %q", pattern)
+	}
+	return mix, nil
+}
+
+// fetch issues one request and measures it.
+func fetch(client *http.Client, t target) sample {
+	start := time.Now()
+	resp, err := client.Get(t.URL)
+	if err != nil {
+		return sample{latency: time.Since(start), err: err}
+	}
+	defer resp.Body.Close()
+	nbytes, err := io.Copy(io.Discard, resp.Body)
+	s := sample{
+		latency: time.Since(start),
+		bytes:   nbytes,
+		hit:     resp.Header.Get("X-Cache") == "HIT",
+		err:     err,
+	}
+	if err == nil && resp.StatusCode != http.StatusOK {
+		s.err = fmt.Errorf("%s: %s", t.Name, resp.Status)
+	}
+	if s.err == nil && nbytes == 0 {
+		s.err = fmt.Errorf("%s: empty body", t.Name)
+	}
+	return s
+}
+
+// run drives the load loop and returns every sample. Request i always
+// targets mix[i % len(mix)], so the mix is deterministic for a given
+// -n whatever the interleaving.
+func run(client *http.Client, mix []target, conc int, n int64, dur time.Duration, rate float64) []sample {
+	var next atomic.Int64
+	var deadline time.Time
+	if dur > 0 {
+		deadline = time.Now().Add(dur)
+	}
+	stopped := func() bool { return dur > 0 && time.Now().After(deadline) }
+
+	var mu sync.Mutex
+	var samples []sample
+	record := func(s sample) {
+		mu.Lock()
+		samples = append(samples, s)
+		mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	if rate > 0 {
+		// Open loop: fixed arrival schedule, one goroutine per
+		// arrival. The inter-arrival wait precedes each dispatch after
+		// the first so wall time ends at the last arrival, not one
+		// idle interval later.
+		interval := time.Duration(float64(time.Second) / rate)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for i := int64(0); ; i++ {
+			if (n > 0 && i >= n) || stopped() {
+				break
+			}
+			if i > 0 {
+				<-ticker.C
+			}
+			wg.Add(1)
+			go func(t target) {
+				defer wg.Done()
+				record(fetch(client, t))
+			}(mix[i%int64(len(mix))])
+		}
+	} else {
+		// Closed loop: conc workers back-to-back.
+		wg.Add(conc)
+		for w := 0; w < conc; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := next.Add(1) - 1
+					if (n > 0 && i >= n) || stopped() {
+						return
+					}
+					record(fetch(client, mix[i%int64(len(mix))]))
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	return samples
+}
+
+// reduce aggregates samples into the run report.
+func reduce(samples []sample, mix []target, wall time.Duration) stats {
+	var st stats
+	st.WallS = wall.Seconds()
+	st.Artifacts = make([]string, len(mix))
+	for i, t := range mix {
+		st.Artifacts[i] = t.Name
+	}
+	lats := make([]time.Duration, 0, len(samples))
+	var sum time.Duration
+	for _, s := range samples {
+		st.Requests++
+		if s.err != nil {
+			st.Errors++
+			log.Printf("error: %v", s.err)
+			continue
+		}
+		if s.hit {
+			st.CacheHits++
+		}
+		st.Bytes += s.bytes
+		lats = append(lats, s.latency)
+		sum += s.latency
+	}
+	if st.WallS > 0 {
+		st.Throughput = float64(st.Requests-st.Errors) / st.WallS
+	}
+	if len(lats) == 0 {
+		return st
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(q float64) float64 {
+		idx := int(q * float64(len(lats)-1))
+		return lats[idx].Seconds() * 1e3
+	}
+	st.MeanMS = sum.Seconds() * 1e3 / float64(len(lats))
+	st.P50MS = pct(0.50)
+	st.P95MS = pct(0.95)
+	st.P99MS = pct(0.99)
+	st.MaxMS = lats[len(lats)-1].Seconds() * 1e3
+	return st
+}
+
+// report prints the human-readable summary.
+func report(st stats) {
+	fmt.Printf("artifacts (%d): %v\n", len(st.Artifacts), st.Artifacts)
+	fmt.Printf("requests: %d   errors: %d   cache hits: %d   bytes: %d\n",
+		st.Requests, st.Errors, st.CacheHits, st.Bytes)
+	fmt.Printf("wall: %.3fs   throughput: %.1f req/s\n", st.WallS, st.Throughput)
+	fmt.Printf("latency ms: mean %.2f   p50 %.2f   p95 %.2f   p99 %.2f   max %.2f\n",
+		st.MeanMS, st.P50MS, st.P95MS, st.P99MS, st.MaxMS)
+}

@@ -1,0 +1,91 @@
+// Command swallow-serve exposes the artifact registry as an HTTP JSON
+// service: every registered table and figure becomes a URL, rendered
+// on demand, cached by content under the canonical (artifact, config)
+// key, and deduplicated so concurrent identical requests share one
+// simulation. Async rendering goes through a bounded job queue that
+// answers 429 + Retry-After under saturation. See internal/service/api
+// for the endpoint set.
+//
+// Usage:
+//
+//	swallow-serve [-addr :8080] [-quick] [-par N]
+//	              [-workers N] [-queue N] [-cache-mb N] [-cache-entries N]
+//
+// SIGINT/SIGTERM shut down gracefully: the listener stops accepting,
+// in-flight requests finish, and the job queue drains every accepted
+// job before the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"swallow/internal/harness"
+	"swallow/internal/harness/sweep"
+	"swallow/internal/service/api"
+
+	// Register the experiment artifacts.
+	_ "swallow/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("swallow-serve: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	quick := flag.Bool("quick", false, "serve quick (less settled) workloads by default")
+	par := flag.Int("par", runtime.GOMAXPROCS(0), "max goroutines per sweep (output is identical at any setting)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "job queue worker goroutines")
+	queueCap := flag.Int("queue", 64, "job queue capacity (backpressure beyond it)")
+	cacheMB := flag.Int64("cache-mb", 64, "result cache bound, MiB")
+	cacheEntries := flag.Int("cache-entries", 256, "result cache bound, entries")
+	drain := flag.Duration("drain", time.Minute, "graceful shutdown budget for in-flight requests")
+	flag.Parse()
+
+	if *par < 1 {
+		log.Fatalf("-par must be >= 1, got %d", *par)
+	}
+	sweep.SetConcurrency(*par)
+
+	opts := api.Options{
+		CacheBytes:    *cacheMB << 20,
+		CacheEntries:  *cacheEntries,
+		Workers:       *workers,
+		QueueCapacity: *queueCap,
+	}
+	if *quick {
+		opts.DefaultConfig = harness.QuickConfig()
+	}
+	srv := api.New(opts)
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("serving %d artifacts on %s (workers=%d queue=%d cache=%dMiB/%d entries)",
+		len(harness.Artifacts()), *addr, *workers, *queueCap, *cacheMB, *cacheEntries)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatalf("listen: %v", err)
+	case sig := <-sigc:
+		log.Printf("%v: draining (budget %v)", sig, *drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("shutdown: %v", err)
+	}
+	// Every job the queue accepted completes before exit.
+	srv.Close()
+	log.Printf("drained")
+}

@@ -2,23 +2,27 @@
 // paper from the simulator and prints them, with the published values
 // alongside the simulated ones. It is a thin driver over the
 // internal/harness artifact registry: -list enumerates the registered
-// artifacts, -only filters them, and -par/-seq choose how many
+// artifacts (name and description), -only filters them, -json emits a
+// machine-readable record per artifact (render, wall time, headline
+// metrics) for CI perf trajectories, and -par/-seq choose how many
 // goroutines the inner sweeps fan out across (each sweep point owns
 // its own simulation kernel, so the output is byte-identical either
 // way).
 //
 // Usage:
 //
-//	swallow-tables [-quick] [-only regexp] [-list] [-par N | -seq]
+//	swallow-tables [-quick] [-only regexp] [-list] [-json] [-par N | -seq]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"regexp"
 	"runtime"
+	"time"
 
 	"swallow/internal/harness"
 	"swallow/internal/harness/sweep"
@@ -27,19 +31,40 @@ import (
 	_ "swallow/internal/experiments"
 )
 
+// jsonRecord is the -json per-artifact output schema, the shape CI
+// stores as BENCH_*.json artifacts to track the perf trajectory.
+type jsonRecord struct {
+	Name        string             `json:"name"`
+	Description string             `json:"description,omitempty"`
+	WallMS      float64            `json:"wall_ms"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+	Render      string             `json:"render"`
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("swallow-tables: ")
 	quick := flag.Bool("quick", false, "use shorter workloads (less settled measurements)")
 	only := flag.String("only", "", "regexp of artifact names to regenerate")
-	list := flag.Bool("list", false, "list registered artifact names and exit")
+	list := flag.Bool("list", false, "list registered artifact names and descriptions, then exit")
+	asJSON := flag.Bool("json", false, "emit one machine-readable JSON array (render, wall time, metrics)")
 	par := flag.Int("par", runtime.GOMAXPROCS(0), "max goroutines per sweep (output is identical at any setting)")
 	seq := flag.Bool("seq", false, "run sweeps serially (same as -par 1)")
 	flag.Parse()
 
 	if *list {
+		width := 0
 		for _, name := range harness.Names() {
-			fmt.Println(name)
+			if len(name) > width {
+				width = len(name)
+			}
+		}
+		for _, a := range harness.Artifacts() {
+			if a.Description == "" {
+				fmt.Println(a.Name)
+				continue
+			}
+			fmt.Printf("%-*s  %s\n", width, a.Name, a.Description)
 		}
 		return
 	}
@@ -66,19 +91,43 @@ func main() {
 	}
 
 	matched := false
+	var records []jsonRecord
 	for _, a := range harness.Artifacts() {
 		if filter != nil && !filter.MatchString(a.Name) {
 			continue
 		}
 		matched = true
-		t, err := a.Table(cfg)
+		start := time.Now()
+		res, err := a.Run(cfg)
 		if err != nil {
 			log.Fatalf("%s: %v", a.Name, err)
+		}
+		wall := time.Since(start)
+		t := a.Render(res)
+		if *asJSON {
+			rec := jsonRecord{
+				Name:        a.Name,
+				Description: a.Description,
+				WallMS:      wall.Seconds() * 1e3,
+				Render:      t.String(),
+			}
+			if a.Metrics != nil {
+				rec.Metrics = a.Metrics(res)
+			}
+			records = append(records, rec)
+			continue
 		}
 		t.Render(os.Stdout)
 		fmt.Println()
 	}
 	if !matched && filter != nil {
 		log.Fatalf("no artifact matches -only %q (try -list)", *only)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(records); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

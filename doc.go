@@ -18,13 +18,25 @@
 //	internal/workload     host-driven flows and benchmark programs
 //	internal/experiments  regenerates every table and figure of the paper
 //	internal/harness      artifact registry + parallel sweep engine
+//	internal/service      serving layer: result cache, job queue, HTTP API
 //
 // Each experiment registers once with the harness registry (a name, a
-// Run, a Render); the benchmarks in bench_test.go and the cmd/ tools
-// are thin loops over harness.Artifacts(). Sweep inner loops run
-// through harness/sweep.Map, which fans independent points (each with
-// its own kernel and machine) across goroutines without changing a
-// byte of output.
+// description, a Run, a Render); the benchmarks in bench_test.go and
+// the cmd/ tools are thin loops over harness.Artifacts(). Sweep inner
+// loops run through harness/sweep.Map, which fans independent points
+// (each with its own kernel and machine) across goroutines without
+// changing a byte of output.
+//
+// # Serving
+//
+// internal/service exposes the registry over HTTP (cmd/swallow-serve):
+// service/cache is a content-addressed LRU result cache keyed by the
+// canonical (artifact, Config) hash with singleflight deduplication —
+// determinism makes cache hits byte-identical to cold runs — and
+// service/queue is a bounded job queue with worker pool, 429
+// backpressure and graceful drain; service/api ties both behind the
+// JSON endpoints. cmd/swallow-load is the matching open/closed-loop
+// load generator reporting throughput and p50/p95/p99 latency.
 //
 // # Scheduling
 //

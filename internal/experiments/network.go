@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"swallow/internal/core"
+	"swallow/internal/harness"
 	"swallow/internal/harness/sweep"
 	"swallow/internal/metrics"
 	"swallow/internal/noc"
@@ -68,21 +69,70 @@ func wordLatency(a, b topo.NodeID) (sim.Time, error) {
 	return sim.Time(mean * float64(sim.Nanosecond)), nil
 }
 
-// Latencies reproduces the Section V-C latency table.
-func Latencies() ([]LatencyRow, error) {
-	type placement struct {
-		name        string
-		a, b        topo.NodeID
-		paperNS     float64
-		paperInstrs float64
-	}
-	placements := []placement{
+// latencyPlacement is one Section V-C source/destination pairing.
+type latencyPlacement struct {
+	name        string
+	a, b        topo.NodeID
+	paperNS     float64
+	paperInstrs float64
+}
+
+// latencyPlacements is the canonical Section V-C placement list, in
+// table order.
+func latencyPlacements() []latencyPlacement {
+	return []latencyPlacement{
 		{"core-local word", topo.MakeNodeID(0, 0, topo.LayerV), topo.MakeNodeID(0, 0, topo.LayerV), 50, 6},
 		{"in-package word", topo.MakeNodeID(0, 0, topo.LayerV), topo.MakeNodeID(0, 0, topo.LayerH), 0, 40},
 		{"cross-package word", topo.MakeNodeID(0, 0, topo.LayerV), topo.MakeNodeID(0, 1, topo.LayerV), 360, 45},
 		{"cross-board word", topo.MakeNodeID(0, 0, topo.LayerH), topo.MakeNodeID(2, 0, topo.LayerH), 0, 0},
 	}
-	return sweep.Map(placements, func(_ int, p placement) (LatencyRow, error) {
+}
+
+// LatencyPlacementNames lists the canonical placement names, in table
+// order — the values LatenciesFor accepts.
+func LatencyPlacementNames() []string {
+	ps := latencyPlacements()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.name
+	}
+	return names
+}
+
+// Latencies reproduces the full Section V-C latency table.
+func Latencies() ([]LatencyRow, error) { return LatenciesFor(nil) }
+
+// LatenciesFor measures the named subset of the Section V-C
+// placements, in canonical table order regardless of the order names
+// are given in. Nil or empty means every placement; an unknown name is
+// an error.
+func LatenciesFor(names []string) ([]LatencyRow, error) {
+	all := latencyPlacements()
+	placements := all
+	if len(names) > 0 {
+		want := make(map[string]bool, len(names))
+		for _, n := range names {
+			found := false
+			for _, p := range all {
+				if p.name == n {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("%w: latency: unknown placement %q (have %v)",
+					harness.ErrBadConfig, n, LatencyPlacementNames())
+			}
+			want[n] = true
+		}
+		placements = placements[:0:0]
+		for _, p := range all {
+			if want[p.name] {
+				placements = append(placements, p)
+			}
+		}
+	}
+	return sweep.Map(placements, func(_ int, p latencyPlacement) (LatencyRow, error) {
 		var lat sim.Time
 		var err error
 		if p.a == p.b {

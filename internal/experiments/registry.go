@@ -30,9 +30,10 @@ const placementItems = 150
 
 func init() {
 	harness.Register(harness.Spec[[]TableIRow]{
-		Name:   "table1",
-		Run:    func(harness.Config) ([]TableIRow, error) { return TableI() },
-		Render: RenderTableI,
+		Name:        "table1",
+		Description: "Table I: measured communication energy per bit by link class",
+		Run:         func(harness.Config) ([]TableIRow, error) { return TableI() },
+		Render:      RenderTableI,
 		Metrics: func(rows []TableIRow) map[string]float64 {
 			m := make(map[string]float64)
 			for _, r := range rows {
@@ -43,23 +44,29 @@ func init() {
 	})
 	registerSurveyTables()
 	harness.Register(harness.Spec[SystemScale]{
-		Name:   "fig1",
-		Run:    func(cfg harness.Config) (SystemScale, error) { return Scale(cfg.Iters) },
-		Render: RenderScale,
+		Name:        "fig1",
+		Description: "Fig. 1 / Sec. III-A: assembled system scale, throughput and wall power",
+		Uses:        harness.UsesIters,
+		Run:         func(cfg harness.Config) (SystemScale, error) { return Scale(cfg.Iters) },
+		Render:      RenderScale,
 		Metrics: func(s SystemScale) map[string]float64 {
 			return map[string]float64{"GIPS": s.PeakGIPS, "loaded_W": s.LoadedWallW}
 		},
 	})
 	harness.Register(harness.Spec[Fig2Result]{
-		Name:   "fig2",
-		Run:    func(cfg harness.Config) (Fig2Result, error) { return Fig2(cfg.Iters) },
-		Render: RenderFig2,
+		Name:        "fig2",
+		Description: "Fig. 2: node power split between computation and overheads",
+		Uses:        harness.UsesIters,
+		Run:         func(cfg harness.Config) (Fig2Result, error) { return Fig2(cfg.Iters) },
+		Render:      RenderFig2,
 		Metrics: func(r Fig2Result) map[string]float64 {
 			return map[string]float64{"node_mW": r.NodeTotalW * 1e3, "compute_mW": r.ComputationW * 1e3}
 		},
 	})
 	harness.Register(harness.Spec[Fig3WithFit]{
-		Name: "fig3",
+		Name:        "fig3",
+		Description: "Fig. 3: core power vs frequency sweep with the Eq. 1 linear fit",
+		Uses:        harness.UsesIters,
 		Run: func(cfg harness.Config) (Fig3WithFit, error) {
 			points, err := Fig3(cfg.Iters)
 			if err != nil {
@@ -84,18 +91,22 @@ func init() {
 		},
 	})
 	harness.Register(harness.Spec[[]Fig4Point]{
-		Name:   "fig4",
-		Run:    func(cfg harness.Config) ([]Fig4Point, error) { return Fig4(cfg.Iters) },
-		Render: RenderFig4,
+		Name:        "fig4",
+		Description: "Fig. 4: DVFS power saving against fixed-voltage scaling",
+		Uses:        harness.UsesIters,
+		Run:         func(cfg harness.Config) ([]Fig4Point, error) { return Fig4(cfg.Iters) },
+		Render:      RenderFig4,
 		Metrics: func(points []Fig4Point) map[string]float64 {
 			last := points[len(points)-1]
 			return map[string]float64{"dvfs_500MHz_mW": last.PowerDVFSW * 1e3}
 		},
 	})
 	harness.Register(harness.Spec[[]Eq2Point]{
-		Name:   "eq2",
-		Run:    func(cfg harness.Config) ([]Eq2Point, error) { return Eq2(cfg.Iters) },
-		Render: RenderEq2,
+		Name:        "eq2",
+		Description: "Eq. 2: aggregate instruction rate vs active thread count",
+		Uses:        harness.UsesIters,
+		Run:         func(cfg harness.Config) ([]Eq2Point, error) { return Eq2(cfg.Iters) },
+		Render:      RenderEq2,
 		Metrics: func(points []Eq2Point) map[string]float64 {
 			m := make(map[string]float64)
 			for _, p := range points {
@@ -107,8 +118,12 @@ func init() {
 		},
 	})
 	harness.Register(harness.Spec[[]LatencyRow]{
-		Name:   "latency",
-		Run:    func(harness.Config) ([]LatencyRow, error) { return Latencies() },
+		Name:        "latency",
+		Description: "Sec. V-C: core-to-core word latency by placement",
+		Uses:        harness.UsesLatencyPlacements,
+		Run: func(cfg harness.Config) ([]LatencyRow, error) {
+			return LatenciesFor(cfg.LatencyPlacements)
+		},
 		Render: RenderLatencies,
 		Metrics: func(rows []LatencyRow) map[string]float64 {
 			m := make(map[string]float64)
@@ -119,8 +134,16 @@ func init() {
 		},
 	})
 	harness.Register(harness.Spec[[]GoodputPoint]{
-		Name:   "goodput",
-		Run:    func(harness.Config) ([]GoodputPoint, error) { return GoodputSweep(goodputPayloads) },
+		Name:        "goodput",
+		Description: "Sec. V-B: packetised goodput fraction across payload sizes",
+		Uses:        harness.UsesGoodputPayloads,
+		Run: func(cfg harness.Config) ([]GoodputPoint, error) {
+			payloads := goodputPayloads
+			if len(cfg.GoodputPayloads) > 0 {
+				payloads = cfg.GoodputPayloads
+			}
+			return GoodputSweep(payloads)
+		},
 		Render: RenderGoodput,
 		Metrics: func(points []GoodputPoint) map[string]float64 {
 			m := make(map[string]float64)
@@ -133,9 +156,10 @@ func init() {
 		},
 	})
 	harness.Register(harness.Spec[[]ECRow]{
-		Name:   "ec",
-		Run:    func(harness.Config) ([]ECRow, error) { return ECRatios() },
-		Render: RenderEC,
+		Name:        "ec",
+		Description: "Sec. V-D: execution/communication ratios per traffic regime",
+		Run:         func(harness.Config) ([]ECRow, error) { return ECRatios() },
+		Render:      RenderEC,
 		Metrics: func(rows []ECRow) map[string]float64 {
 			last := rows[len(rows)-1]
 			return map[string]float64{
@@ -146,9 +170,10 @@ func init() {
 	})
 	registerSurveyEC()
 	harness.Register(harness.Spec[[]PlacementEnergyResult]{
-		Name:   "placement",
-		Run:    func(harness.Config) ([]PlacementEnergyResult, error) { return PipelinePlacement(placementItems) },
-		Render: RenderPlacement,
+		Name:        "placement",
+		Description: "Pipeline placement: energy and elapsed time per mapping",
+		Run:         func(harness.Config) ([]PlacementEnergyResult, error) { return PipelinePlacement(placementItems) },
+		Render:      RenderPlacement,
 		Metrics: func(rows []PlacementEnergyResult) map[string]float64 {
 			m := make(map[string]float64)
 			for _, r := range rows {
@@ -159,9 +184,10 @@ func init() {
 		},
 	})
 	harness.Register(harness.Spec[[]AblationRoutingResult]{
-		Name:   "ablation-routing",
-		Run:    func(harness.Config) ([]AblationRoutingResult, error) { return AblationRouting() },
-		Render: RenderAblationRouting,
+		Name:        "ablation-routing",
+		Description: "Ablation: adaptive vs strict vertical-first routing",
+		Run:         func(harness.Config) ([]AblationRoutingResult, error) { return AblationRouting() },
+		Render:      RenderAblationRouting,
 		Metrics: func(res []AblationRoutingResult) map[string]float64 {
 			m := make(map[string]float64)
 			for _, r := range res {
@@ -172,9 +198,10 @@ func init() {
 		},
 	})
 	harness.Register(harness.Spec[map[int]float64]{
-		Name:   "ablation-links",
-		Run:    func(harness.Config) (map[int]float64, error) { return AblationLinks() },
-		Render: RenderAblationLinks,
+		Name:        "ablation-links",
+		Description: "Ablation: aggregate goodput vs enabled internal link count",
+		Run:         func(harness.Config) (map[int]float64, error) { return AblationLinks() },
+		Render:      RenderAblationLinks,
 		Metrics: func(res map[int]float64) map[string]float64 {
 			m := make(map[string]float64)
 			for links := 1; links <= 4; links++ {
@@ -184,9 +211,10 @@ func init() {
 		},
 	})
 	harness.Register(harness.Spec[map[string]float64]{
-		Name:   "ablation-placement",
-		Run:    func(harness.Config) (map[string]float64, error) { return AblationPlacement() },
-		Render: RenderAblationPlacement,
+		Name:        "ablation-placement",
+		Description: "Ablation: stream goodput across source/destination placements",
+		Run:         func(harness.Config) (map[string]float64, error) { return AblationPlacement() },
+		Render:      RenderAblationPlacement,
 		Metrics: func(res map[string]float64) map[string]float64 {
 			m := make(map[string]float64)
 			for _, p := range streamPlacements {
@@ -196,17 +224,19 @@ func init() {
 		},
 	})
 	harness.Register(harness.Spec[float64]{
-		Name:   "bridge",
-		Run:    func(harness.Config) (float64, error) { return BridgeRate() },
-		Render: RenderBridgeRate,
+		Name:        "bridge",
+		Description: "Ethernet bridge: sustained off-system transfer rate",
+		Run:         func(harness.Config) (float64, error) { return BridgeRate() },
+		Render:      RenderBridgeRate,
 		Metrics: func(rate float64) map[string]float64 {
 			return map[string]float64{"bridge_Mbit/s": rate / 1e6}
 		},
 	})
 	harness.Register(harness.Spec[nos.BootStats]{
-		Name:   "boot",
-		Run:    func(harness.Config) (nos.BootStats, error) { return BootCost() },
-		Render: RenderBootCost,
+		Name:        "boot",
+		Description: "Network boot: image size and end-to-end boot time",
+		Run:         func(harness.Config) (nos.BootStats, error) { return BootCost() },
+		Render:      RenderBootCost,
 		Metrics: func(st nos.BootStats) map[string]float64 {
 			return map[string]float64{
 				"image_bytes": float64(st.ImageBytes),
@@ -215,9 +245,10 @@ func init() {
 		},
 	})
 	harness.Register(harness.Spec[EnergyCompare]{
-		Name:   "energy",
-		Run:    func(harness.Config) (EnergyCompare, error) { return ComputeVsComm(), nil },
-		Render: RenderEnergyCompare,
+		Name:        "energy",
+		Description: "Computation vs communication energy per bit",
+		Run:         func(harness.Config) (EnergyCompare, error) { return ComputeVsComm(), nil },
+		Render:      RenderEnergyCompare,
 		Metrics: func(e EnergyCompare) map[string]float64 {
 			return map[string]float64{
 				"compute_lo_pJ/bit":  e.ComputeLoPJ,
@@ -227,7 +258,8 @@ func init() {
 		},
 	})
 	harness.Register(harness.Spec[struct{}]{
-		Name: "adc",
+		Name:        "adc",
+		Description: "ADC measurement chain: sample rates and bandwidth checks",
 		Run: func(harness.Config) (struct{}, error) {
 			return struct{}{}, MeasurementRates()
 		},

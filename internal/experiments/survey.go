@@ -12,14 +12,16 @@ import (
 // Called from registry.go, which owns the canonical artifact order.
 func registerSurveyTables() {
 	harness.Register(harness.Spec[*report.Table]{
-		Name:   "table2",
-		Run:    func(harness.Config) (*report.Table, error) { return RenderTableII() },
-		Render: func(t *report.Table) *report.Table { return t },
+		Name:        "table2",
+		Description: "Table II: candidate processor survey with requirement verdicts",
+		Run:         func(harness.Config) (*report.Table, error) { return RenderTableII() },
+		Render:      func(t *report.Table) *report.Table { return t },
 	})
 	harness.Register(harness.Spec[*report.Table]{
-		Name:   "table3",
-		Run:    func(harness.Config) (*report.Table, error) { return RenderTableIII(), nil },
-		Render: func(t *report.Table) *report.Table { return t },
+		Name:        "table3",
+		Description: "Table III: scale, technology and power of surveyed many-cores",
+		Run:         func(harness.Config) (*report.Table, error) { return RenderTableIII(), nil },
+		Render:      func(t *report.Table) *report.Table { return t },
 		Metrics: func(*report.Table) map[string]float64 {
 			sw, _ := survey.SystemByName("Swallow")
 			return map[string]float64{"swallow_uW/MHz_derived": sw.DerivedUWPerMHz()}
@@ -30,9 +32,10 @@ func registerSurveyTables() {
 // registerSurveyEC files the Section VI related-work EC artifact.
 func registerSurveyEC() {
 	harness.Register(harness.Spec[*report.Table]{
-		Name:   "survey-ec",
-		Run:    func(harness.Config) (*report.Table, error) { return RenderSurveyEC(), nil },
-		Render: func(t *report.Table) *report.Table { return t },
+		Name:        "survey-ec",
+		Description: "Sec. VI: system-wide EC ratios of surveyed systems",
+		Run:         func(harness.Config) (*report.Table, error) { return RenderSurveyEC(), nil },
+		Render:      func(t *report.Table) *report.Table { return t },
 		Metrics: func(*report.Table) map[string]float64 {
 			lo, hi := survey.ECRange()
 			return map[string]float64{"EC_lo": lo, "EC_hi": hi}

@@ -14,12 +14,19 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 
 	"swallow/internal/report"
 )
+
+// ErrBadConfig marks run failures caused by an invalid Config value
+// (e.g. an unknown latency placement name) rather than a simulation
+// fault. Drivers use errors.Is to map these to caller errors (HTTP
+// 400) instead of server faults.
+var ErrBadConfig = errors.New("harness: bad config")
 
 // MetricName sanitises label parts into a benchmark metric unit (no
 // whitespace allowed in testing.B.ReportMetric units).
@@ -30,12 +37,51 @@ func MetricName(parts ...string) string {
 	return s
 }
 
-// Config carries the run-size knobs shared by every artifact.
+// Config carries the run-size knobs shared by every artifact, plus
+// optional sweep-grid overrides for the artifacts that expose them.
+// The zero value of every override means "canonical grid", so the
+// default configs render byte-identical to the pre-override outputs.
+// Config is JSON-serialisable so network drivers (internal/service)
+// can accept it from API callers.
 type Config struct {
 	// Iters is the per-thread workload length for the settling
 	// experiments (power and throughput measurements).
-	Iters int
+	Iters int `json:"iters"`
+	// GoodputPayloads overrides the Section V-B payload-size grid of
+	// the goodput artifact. Nil or empty means the canonical grid.
+	GoodputPayloads []int `json:"goodput_payloads,omitempty"`
+	// LatencyPlacements filters the Section V-C placement list of the
+	// latency artifact by placement name. Nil or empty means all
+	// canonical placements; an unknown name is a run error.
+	LatencyPlacements []string `json:"latency_placements,omitempty"`
 }
+
+// Canonical returns cfg with empty override slices normalised to nil,
+// so configs that request the canonical grids hash identically however
+// they were spelled (nil vs empty slice). Result caches key on it.
+func (c Config) Canonical() Config {
+	if len(c.GoodputPayloads) == 0 {
+		c.GoodputPayloads = nil
+	}
+	if len(c.LatencyPlacements) == 0 {
+		c.LatencyPlacements = nil
+	}
+	return c
+}
+
+// Knobs is a bitmask of the Config fields an artifact's Run actually
+// reads, declared at registration so drivers can collapse equivalent
+// configs (Project) instead of re-running byte-identical simulations.
+type Knobs uint8
+
+const (
+	// UsesIters marks artifacts whose Run reads Config.Iters.
+	UsesIters Knobs = 1 << iota
+	// UsesGoodputPayloads marks artifacts reading the payload grid.
+	UsesGoodputPayloads
+	// UsesLatencyPlacements marks artifacts reading the placement list.
+	UsesLatencyPlacements
+)
 
 // DefaultConfig is the settled-measurement configuration the CLI and
 // golden comparisons use by default.
@@ -50,6 +96,11 @@ func QuickConfig() Config { return Config{Iters: 5000} }
 type Artifact struct {
 	// Name is the stable CLI/bench identifier, e.g. "fig3".
 	Name string
+	// Description is a one-line human summary, shown by
+	// swallow-tables -list and the service's artifact index.
+	Description string
+	// Uses declares which Config fields Run reads; see Project.
+	Uses Knobs
 	// Run regenerates the artifact from simulation.
 	Run func(Config) (any, error)
 	// Render formats a Run result.
@@ -57,6 +108,23 @@ type Artifact struct {
 	// Metrics extracts named headline quantities from a Run result for
 	// benchmark reporting. May be nil.
 	Metrics func(any) map[string]float64
+}
+
+// Project reduces cfg to the fields this artifact's Run reads,
+// canonicalised: configs differing only in knobs the artifact ignores
+// project identically, so result caches can serve them from one entry
+// (the runs would be byte-identical anyway).
+func (a *Artifact) Project(cfg Config) Config {
+	if a.Uses&UsesIters == 0 {
+		cfg.Iters = 0
+	}
+	if a.Uses&UsesGoodputPayloads == 0 {
+		cfg.GoodputPayloads = nil
+	}
+	if a.Uses&UsesLatencyPlacements == 0 {
+		cfg.LatencyPlacements = nil
+	}
+	return cfg.Canonical()
 }
 
 // Table runs the artifact and renders it in one step.
@@ -89,12 +157,16 @@ type Metric struct {
 	Value float64
 }
 
-// Spec is a typed registration. Render is required; Metrics optional.
+// Spec is a typed registration. Render is required; Description,
+// Uses and Metrics are optional (zero Uses means Run ignores Config
+// entirely).
 type Spec[R any] struct {
-	Name    string
-	Run     func(Config) (R, error)
-	Render  func(R) *report.Table
-	Metrics func(R) map[string]float64
+	Name        string
+	Description string
+	Uses        Knobs
+	Run         func(Config) (R, error)
+	Render      func(R) *report.Table
+	Metrics     func(R) map[string]float64
 }
 
 var registry []*Artifact
@@ -110,9 +182,11 @@ func Register[R any](s Spec[R]) {
 		panic(fmt.Sprintf("harness: artifact %q registered twice", s.Name))
 	}
 	a := &Artifact{
-		Name:   s.Name,
-		Run:    func(cfg Config) (any, error) { return s.Run(cfg) },
-		Render: func(res any) *report.Table { return s.Render(res.(R)) },
+		Name:        s.Name,
+		Description: s.Description,
+		Uses:        s.Uses,
+		Run:         func(cfg Config) (any, error) { return s.Run(cfg) },
+		Render:      func(res any) *report.Table { return s.Render(res.(R)) },
 	}
 	if s.Metrics != nil {
 		a.Metrics = func(res any) map[string]float64 { return s.Metrics(res.(R)) }

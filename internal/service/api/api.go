@@ -1,0 +1,394 @@
+// Package api assembles the serving layer: HTTP JSON handlers over the
+// harness artifact registry, backed by the deterministic result cache
+// (internal/service/cache) and the bounded job queue
+// (internal/service/queue).
+//
+// Endpoints:
+//
+//	GET  /artifacts         registered artifact index (name, description)
+//	GET  /artifacts/{name}  synchronous render, cache-aware, ETag'd
+//	POST /jobs              async render submission (429 when saturated)
+//	GET  /jobs/{id}         job status / result polling
+//	GET  /healthz           liveness probe
+//	GET  /metrics           text metrics (requests, cache, queue, latency)
+//
+// Renders are pure functions of (artifact, harness.Config), so a cache
+// hit is byte-identical to a cold run and the ETag doubles as a
+// content hash. Synchronous GETs run inline under singleflight (a
+// burst of identical requests costs one simulation); POST /jobs puts
+// the work on the worker pool instead and reports backpressure as
+// 429 + Retry-After when the queue is full.
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"swallow/internal/harness"
+	"swallow/internal/service/cache"
+	"swallow/internal/service/queue"
+)
+
+// Options configures a Server. Zero fields take the stated defaults.
+type Options struct {
+	// DefaultConfig is the render config when a request does not
+	// override it. Zero means harness.DefaultConfig().
+	DefaultConfig harness.Config
+	// QuickConfig serves requests carrying quick=true. Zero means
+	// harness.QuickConfig().
+	QuickConfig harness.Config
+	// CacheBytes / CacheEntries bound the result cache (<= 0: 64 MiB /
+	// 256 entries).
+	CacheBytes   int64
+	CacheEntries int
+	// Workers / QueueCapacity / JobRetention shape the job queue
+	// (<= 0: 1 worker, 16 slots, 64 retained jobs).
+	Workers       int
+	QueueCapacity int
+	JobRetention  int
+}
+
+// Server wires the registry, cache and queue behind one http.Handler.
+type Server struct {
+	def, quick harness.Config
+	cache      *cache.Cache
+	queue      *queue.Queue
+	met        *metrics
+	mux        *http.ServeMux
+}
+
+// New builds a Server and starts its worker pool. Callers must Close
+// it to drain the pool.
+func New(opts Options) *Server {
+	// Fill only the missing Iters so a caller config carrying just
+	// grid overrides keeps them.
+	if opts.DefaultConfig.Iters == 0 {
+		opts.DefaultConfig.Iters = harness.DefaultConfig().Iters
+	}
+	if opts.QuickConfig.Iters == 0 {
+		opts.QuickConfig.Iters = harness.QuickConfig().Iters
+	}
+	if opts.CacheBytes <= 0 {
+		opts.CacheBytes = 64 << 20
+	}
+	if opts.CacheEntries <= 0 {
+		opts.CacheEntries = 256
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	if opts.QueueCapacity <= 0 {
+		opts.QueueCapacity = 16
+	}
+	if opts.JobRetention <= 0 {
+		opts.JobRetention = 64
+	}
+	s := &Server{
+		def:   opts.DefaultConfig,
+		quick: opts.QuickConfig,
+		cache: cache.New(opts.CacheBytes, opts.CacheEntries),
+		queue: queue.New(opts.Workers, opts.QueueCapacity, opts.JobRetention),
+		met:   newMetrics(),
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /artifacts", s.handleArtifacts)
+	s.mux.HandleFunc("GET /artifacts/{name}", s.handleArtifact)
+	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the HTTP entry point (request counting included).
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.met.request()
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// Close drains the job queue gracefully: every accepted job completes
+// before Close returns. Call after the HTTP listener has stopped
+// accepting connections.
+func (s *Server) Close() { s.queue.Close() }
+
+// writeJSON writes v as a JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeError writes a JSON error body.
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// configFromQuery derives the render config from URL query parameters:
+// quick=1 starts from the quick config, iters / payloads / placements
+// override the corresponding Config fields.
+func (s *Server) configFromQuery(q url.Values) (harness.Config, error) {
+	cfg := s.def
+	if v := q.Get("quick"); v != "" {
+		quick, err := strconv.ParseBool(v)
+		if err != nil {
+			return cfg, fmt.Errorf("bad quick=%q: %v", v, err)
+		}
+		if quick {
+			cfg = s.quick
+		}
+	}
+	if v := q.Get("iters"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			return cfg, fmt.Errorf("bad iters=%q: want a positive integer", v)
+		}
+		cfg.Iters = n
+	}
+	if v := q.Get("payloads"); v != "" {
+		var payloads []int
+		for _, part := range strings.Split(v, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				return cfg, fmt.Errorf("bad payloads=%q: want comma-separated positive integers", v)
+			}
+			payloads = append(payloads, n)
+		}
+		cfg.GoodputPayloads = payloads
+	}
+	if v := q.Get("placements"); v != "" {
+		var names []string
+		for _, part := range strings.Split(v, ",") {
+			if part = strings.TrimSpace(part); part != "" {
+				names = append(names, part)
+			}
+		}
+		if len(names) == 0 {
+			return cfg, fmt.Errorf("bad placements=%q: no names", v)
+		}
+		cfg.LatencyPlacements = names
+	}
+	return cfg.Canonical(), nil
+}
+
+// runStatus maps a render error to its HTTP status: config errors are
+// the caller's fault (400), anything else is a server fault (500).
+func runStatus(err error) int {
+	if errors.Is(err, harness.ErrBadConfig) {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+// artifactInfo is one /artifacts index row.
+type artifactInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+	URL         string `json:"url"`
+}
+
+// handleArtifacts serves the registry index.
+func (s *Server) handleArtifacts(w http.ResponseWriter, r *http.Request) {
+	arts := harness.Artifacts()
+	out := make([]artifactInfo, len(arts))
+	for i, a := range arts {
+		out[i] = artifactInfo{
+			Name:        a.Name,
+			Description: a.Description,
+			URL:         "/artifacts/" + url.PathEscape(a.Name),
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// render runs one artifact under the config and returns its cached (or
+// freshly filled) entry, recording per-artifact latency for /metrics.
+// The config is projected to the knobs the artifact actually reads
+// before keying, so requests differing only in irrelevant parameters
+// (e.g. ?iters= on an iteration-free table) share one cache entry
+// instead of re-running a byte-identical simulation.
+func (s *Server) render(a *harness.Artifact, cfg harness.Config) (cache.Entry, bool, error) {
+	cfg = a.Project(cfg)
+	key := cache.Key(a.Name, cfg)
+	return s.cache.GetOrFill(key, func() ([]byte, error) {
+		start := time.Now()
+		t, err := a.Table(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.met.observe(a.Name, time.Since(start))
+		return []byte(t.String()), nil
+	})
+}
+
+// handleArtifact serves one artifact synchronously: cache-aware, with
+// the content hash as a strong ETag (byte-identical by determinism)
+// and X-Cache reporting HIT or MISS.
+func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	a := harness.Lookup(name)
+	if a == nil {
+		writeError(w, http.StatusNotFound, "unknown artifact %q (GET /artifacts lists them)", name)
+		return
+	}
+	cfg, err := s.configFromQuery(r.URL.Query())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	entry, hit, err := s.render(a, cfg)
+	if err != nil {
+		writeError(w, runStatus(err), "%s: %v", name, err)
+		return
+	}
+	etag := `"` + entry.ContentHash + `"`
+	w.Header().Set("ETag", etag)
+	w.Header().Set("X-Cache", map[bool]string{true: "HIT", false: "MISS"}[hit])
+	if match := r.Header.Get("If-None-Match"); match == "*" || (match != "" && strings.Contains(match, etag)) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write(entry.Body)
+}
+
+// jobRequest is the POST /jobs body.
+type jobRequest struct {
+	Artifact string `json:"artifact"`
+	// Quick starts from the quick config before Config overrides.
+	Quick bool `json:"quick,omitempty"`
+	// Config optionally overrides render knobs; zero fields keep the
+	// base config's values.
+	Config *harness.Config `json:"config,omitempty"`
+}
+
+// jobResult is what a finished job stores in the queue.
+type jobResult struct {
+	entry cache.Entry
+}
+
+// jobView is the GET /jobs/{id} (and POST /jobs) response body.
+type jobView struct {
+	ID       string `json:"id"`
+	Artifact string `json:"artifact"`
+	Status   string `json:"status"`
+	URL      string `json:"url"`
+	ETag     string `json:"etag,omitempty"`
+	Result   string `json:"result,omitempty"`
+	Error    string `json:"error,omitempty"`
+}
+
+// handleSubmit accepts an async render job. A saturated queue is
+// backpressure: 429 with Retry-After.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req jobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad job body: %v", err)
+		return
+	}
+	a := harness.Lookup(req.Artifact)
+	if a == nil {
+		writeError(w, http.StatusNotFound, "unknown artifact %q (GET /artifacts lists them)", req.Artifact)
+		return
+	}
+	cfg := s.def
+	if req.Quick {
+		cfg = s.quick
+	}
+	if req.Config != nil {
+		if req.Config.Iters < 0 {
+			writeError(w, http.StatusBadRequest, "bad config: iters must be positive")
+			return
+		}
+		if req.Config.Iters > 0 {
+			cfg.Iters = req.Config.Iters
+		}
+		if len(req.Config.GoodputPayloads) > 0 {
+			for _, p := range req.Config.GoodputPayloads {
+				if p <= 0 {
+					writeError(w, http.StatusBadRequest, "bad config: payloads must be positive")
+					return
+				}
+			}
+			cfg.GoodputPayloads = req.Config.GoodputPayloads
+		}
+		if len(req.Config.LatencyPlacements) > 0 {
+			cfg.LatencyPlacements = req.Config.LatencyPlacements
+		}
+	}
+	cfg = cfg.Canonical()
+	id, err := s.queue.Submit(a.Name, func() (any, error) {
+		entry, _, err := s.render(a, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return jobResult{entry: entry}, nil
+	})
+	switch err {
+	case nil:
+	case queue.ErrFull:
+		s.met.reject()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "job queue full (capacity %d); retry later", s.queue.Capacity())
+		return
+	case queue.ErrClosed:
+		writeError(w, http.StatusServiceUnavailable, "server shutting down")
+		return
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, jobView{
+		ID:       id,
+		Artifact: a.Name,
+		Status:   string(queue.StatusQueued),
+		URL:      "/jobs/" + id,
+	})
+}
+
+// handleJob serves job status polling; a done job carries the rendered
+// body and its ETag inline.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, ok := s.queue.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q (results are retained for a bounded history)", id)
+		return
+	}
+	view := jobView{
+		ID:       j.ID,
+		Artifact: j.Label,
+		Status:   string(j.Status),
+		URL:      "/jobs/" + j.ID,
+		Error:    j.Err,
+	}
+	if res, ok := j.Result.(jobResult); ok {
+		view.ETag = `"` + res.entry.ContentHash + `"`
+		view.Result = string(res.entry.Body)
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// handleHealth is the liveness probe.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":      "ok",
+		"artifacts":   len(harness.Artifacts()),
+		"queue_depth": s.queue.Depth(),
+	})
+}
+
+// handleMetrics serves the text metrics snapshot.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.met.write(w, s.cache.Stats(), s.queue.Depth(), s.queue.Capacity())
+}

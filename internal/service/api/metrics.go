@@ -1,0 +1,91 @@
+package api
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"swallow/internal/service/cache"
+)
+
+// latAgg aggregates render latency for one artifact.
+type latAgg struct {
+	count int64
+	sum   time.Duration
+	max   time.Duration
+}
+
+// metrics tracks the service counters /metrics reports. Cache and
+// queue figures are read live from their owners; only request and
+// latency counters live here.
+type metrics struct {
+	mu       sync.Mutex
+	requests int64
+	rejected int64
+	renders  map[string]*latAgg
+}
+
+func newMetrics() *metrics {
+	return &metrics{renders: make(map[string]*latAgg)}
+}
+
+// request counts one HTTP request.
+func (m *metrics) request() {
+	m.mu.Lock()
+	m.requests++
+	m.mu.Unlock()
+}
+
+// reject counts one 429 backpressure response.
+func (m *metrics) reject() {
+	m.mu.Lock()
+	m.rejected++
+	m.mu.Unlock()
+}
+
+// observe records one cold render of an artifact.
+func (m *metrics) observe(artifact string, d time.Duration) {
+	m.mu.Lock()
+	agg := m.renders[artifact]
+	if agg == nil {
+		agg = &latAgg{}
+		m.renders[artifact] = agg
+	}
+	agg.count++
+	agg.sum += d
+	if d > agg.max {
+		agg.max = d
+	}
+	m.mu.Unlock()
+}
+
+// write renders the snapshot in Prometheus-style text form, artifact
+// rows name-sorted for deterministic output.
+func (m *metrics) write(w io.Writer, cs cache.Stats, queueDepth, queueCap int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	fmt.Fprintf(w, "swallow_requests_total %d\n", m.requests)
+	fmt.Fprintf(w, "swallow_requests_rejected_total %d\n", m.rejected)
+	fmt.Fprintf(w, "swallow_cache_hits_total %d\n", cs.Hits)
+	fmt.Fprintf(w, "swallow_cache_misses_total %d\n", cs.Misses)
+	fmt.Fprintf(w, "swallow_cache_shared_fills_total %d\n", cs.Shared)
+	fmt.Fprintf(w, "swallow_cache_evictions_total %d\n", cs.Evictions)
+	fmt.Fprintf(w, "swallow_cache_hit_ratio %.4f\n", cs.HitRatio())
+	fmt.Fprintf(w, "swallow_cache_entries %d\n", cs.Entries)
+	fmt.Fprintf(w, "swallow_cache_bytes %d\n", cs.Bytes)
+	fmt.Fprintf(w, "swallow_queue_depth %d\n", queueDepth)
+	fmt.Fprintf(w, "swallow_queue_capacity %d\n", queueCap)
+	names := make([]string, 0, len(m.renders))
+	for name := range m.renders {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		agg := m.renders[name]
+		fmt.Fprintf(w, "swallow_render_seconds_count{artifact=%q} %d\n", name, agg.count)
+		fmt.Fprintf(w, "swallow_render_seconds_sum{artifact=%q} %.6f\n", name, agg.sum.Seconds())
+		fmt.Fprintf(w, "swallow_render_seconds_max{artifact=%q} %.6f\n", name, agg.max.Seconds())
+	}
+}

@@ -1,0 +1,162 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"swallow/internal/harness"
+)
+
+func TestKeyCanonicalisation(t *testing.T) {
+	base := harness.Config{Iters: 100}
+	if Key("fig3", base) != Key("fig3", harness.Config{Iters: 100, GoodputPayloads: []int{}}) {
+		t.Error("nil and empty override slices must key identically")
+	}
+	if Key("fig3", base) == Key("fig4", base) {
+		t.Error("different artifacts must key differently")
+	}
+	if Key("fig3", base) == Key("fig3", harness.Config{Iters: 101}) {
+		t.Error("different iters must key differently")
+	}
+	if Key("goodput", base) == Key("goodput", harness.Config{Iters: 100, GoodputPayloads: []int{4}}) {
+		t.Error("grid override must key differently")
+	}
+}
+
+func TestGetOrFillCachesAndHits(t *testing.T) {
+	c := New(0, 0)
+	var runs atomic.Int64
+	fill := func() ([]byte, error) {
+		runs.Add(1)
+		return []byte("body"), nil
+	}
+	e1, hit, err := c.GetOrFill("k", fill)
+	if err != nil || hit {
+		t.Fatalf("first fill: hit=%v err=%v", hit, err)
+	}
+	e2, hit, err := c.GetOrFill("k", fill)
+	if err != nil || !hit {
+		t.Fatalf("second lookup: hit=%v err=%v", hit, err)
+	}
+	if string(e1.Body) != "body" || string(e2.Body) != "body" || e1.ContentHash != e2.ContentHash {
+		t.Fatalf("entries diverge: %+v vs %+v", e1, e2)
+	}
+	if e1.ContentHash == "" {
+		t.Fatal("content hash missing")
+	}
+	if n := runs.Load(); n != 1 {
+		t.Fatalf("fill ran %d times, want 1", n)
+	}
+	s := c.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Entries != 1 || s.Bytes != 4 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestErrorsAreNotCached(t *testing.T) {
+	c := New(0, 0)
+	calls := 0
+	_, _, err := c.GetOrFill("k", func() ([]byte, error) {
+		calls++
+		return nil, fmt.Errorf("boom")
+	})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	_, hit, err := c.GetOrFill("k", func() ([]byte, error) {
+		calls++
+		return []byte("ok"), nil
+	})
+	if err != nil || hit {
+		t.Fatalf("retry after error: hit=%v err=%v", hit, err)
+	}
+	if calls != 2 {
+		t.Fatalf("fill calls = %d, want 2 (errors must not cache)", calls)
+	}
+}
+
+func TestSingleflightCollapsesConcurrentFills(t *testing.T) {
+	c := New(0, 0)
+	var runs atomic.Int64
+	gate := make(chan struct{})
+	const N = 16
+	var wg sync.WaitGroup
+	wg.Add(N)
+	for i := 0; i < N; i++ {
+		go func() {
+			defer wg.Done()
+			e, _, err := c.GetOrFill("k", func() ([]byte, error) {
+				runs.Add(1)
+				<-gate // hold the flight open so followers must share it
+				return []byte("shared"), nil
+			})
+			if err != nil || string(e.Body) != "shared" {
+				t.Errorf("GetOrFill: %q %v", e.Body, err)
+			}
+		}()
+	}
+	close(gate)
+	wg.Wait()
+	if n := runs.Load(); n != 1 {
+		t.Fatalf("fill ran %d times under %d concurrent callers, want 1", n, N)
+	}
+	s := c.Stats()
+	if got := s.Hits + s.Shared + s.Misses; got != N {
+		t.Fatalf("lookups accounted %d, want %d (stats %+v)", got, N, s)
+	}
+}
+
+func TestLRUEntryBound(t *testing.T) {
+	c := New(0, 2)
+	for i := 0; i < 4; i++ {
+		body := []byte(fmt.Sprintf("body-%d", i))
+		if _, _, err := c.GetOrFill(fmt.Sprintf("k%d", i), func() ([]byte, error) { return body, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Stats()
+	if s.Entries != 2 || s.Evictions != 2 {
+		t.Fatalf("stats = %+v, want 2 entries / 2 evictions", s)
+	}
+	// Oldest keys evicted, newest kept.
+	if _, ok := c.Get("k0"); ok {
+		t.Error("k0 survived eviction")
+	}
+	if _, ok := c.Get("k3"); !ok {
+		t.Error("k3 evicted prematurely")
+	}
+}
+
+func TestLRUByteBoundAndRecency(t *testing.T) {
+	c := New(20, 0) // three 8-byte bodies exceed 20 bytes
+	fill := func(s string) func() ([]byte, error) {
+		return func() ([]byte, error) { return []byte(s), nil }
+	}
+	c.GetOrFill("a", fill("aaaaaaaa"))
+	c.GetOrFill("b", fill("bbbbbbbb"))
+	c.Get("a") // touch a so b is the LRU victim
+	c.GetOrFill("c", fill("cccccccc"))
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted (LRU)")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a was recently used and must survive")
+	}
+	if s := c.Stats(); s.Bytes > 20 {
+		t.Errorf("bytes = %d beyond bound", s.Bytes)
+	}
+}
+
+func TestOversizedEntryStillServable(t *testing.T) {
+	c := New(4, 0)
+	big := []byte("way-more-than-four-bytes")
+	e, _, err := c.GetOrFill("big", func() ([]byte, error) { return big, nil })
+	if err != nil || string(e.Body) != string(big) {
+		t.Fatalf("oversized fill: %v", err)
+	}
+	if _, ok := c.Get("big"); !ok {
+		t.Fatal("an oversized entry must still be kept (never evict the only entry)")
+	}
+}

@@ -1,0 +1,206 @@
+// Package queue is the bounded job engine of the serving layer: a
+// fixed worker pool draining a bounded submission channel. Submit is
+// non-blocking — a full channel is backpressure, surfaced by the API
+// layer as 429 + Retry-After rather than unbounded queueing — and
+// Close is a graceful drain: accepted jobs (queued and in-flight) all
+// run to completion before Close returns.
+//
+// Jobs are opaque functions returning (any, error); the queue tracks
+// their lifecycle (queued → running → done|failed) under caller-
+// pollable string IDs. Completed jobs are retained up to a bounded
+// history so pollers can fetch results after the fact without the job
+// table growing forever.
+package queue
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Status is a job lifecycle state.
+type Status string
+
+const (
+	StatusQueued  Status = "queued"
+	StatusRunning Status = "running"
+	StatusDone    Status = "done"
+	StatusFailed  Status = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s Status) Terminal() bool { return s == StatusDone || s == StatusFailed }
+
+// Job is a point-in-time snapshot of one submitted job.
+type Job struct {
+	ID     string
+	Label  string
+	Status Status
+	// Result holds the job function's return value once Status is
+	// done; Err its error message once failed.
+	Result any
+	Err    string
+	// Submitted/Started/Finished stamp the lifecycle transitions.
+	Submitted, Started, Finished time.Time
+}
+
+// job is the internal mutable record; q.mu guards every field except
+// the immutables (id, label, fn).
+type job struct {
+	Job
+	fn func() (any, error)
+}
+
+// Submission errors.
+var (
+	// ErrFull means the queue is at capacity; retry later.
+	ErrFull = errors.New("queue: full")
+	// ErrClosed means the queue no longer accepts jobs.
+	ErrClosed = errors.New("queue: shutting down")
+)
+
+// Queue is a bounded job queue with a fixed worker pool. Build with
+// New.
+type Queue struct {
+	mu      sync.Mutex
+	jobs    map[string]*job
+	done    []string // completed job IDs, oldest first, for retention
+	retain  int
+	nextID  int
+	queued  int
+	running int
+	closed  bool
+
+	ch chan *job
+	wg sync.WaitGroup
+}
+
+// New starts a queue of capacity pending slots drained by workers
+// goroutines. retain bounds how many completed jobs stay pollable
+// (older ones are forgotten, oldest first); retain <= 0 keeps none.
+func New(workers, capacity, retain int) *Queue {
+	if workers < 1 {
+		workers = 1
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	q := &Queue{
+		jobs:   make(map[string]*job),
+		retain: retain,
+		ch:     make(chan *job, capacity),
+	}
+	q.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go q.worker()
+	}
+	return q
+}
+
+// worker drains the channel until it is closed.
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for j := range q.ch {
+		q.mu.Lock()
+		q.queued--
+		q.running++
+		j.Status = StatusRunning
+		j.Started = time.Now()
+		q.mu.Unlock()
+
+		res, err := j.fn()
+
+		q.mu.Lock()
+		q.running--
+		j.Finished = time.Now()
+		if err != nil {
+			j.Status = StatusFailed
+			j.Err = err.Error()
+		} else {
+			j.Status = StatusDone
+			j.Result = res
+		}
+		q.retire(j.ID)
+		q.mu.Unlock()
+	}
+}
+
+// retire files a completed job into the retention window, dropping the
+// oldest completed jobs beyond it. Caller holds mu.
+func (q *Queue) retire(id string) {
+	q.done = append(q.done, id)
+	for len(q.done) > q.retain {
+		delete(q.jobs, q.done[0])
+		q.done = q.done[1:]
+	}
+}
+
+// Submit enqueues fn under a fresh ID. It never blocks: when the
+// queue is at capacity it returns ErrFull (backpressure), and after
+// Close it returns ErrClosed.
+func (q *Queue) Submit(label string, fn func() (any, error)) (string, error) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return "", ErrClosed
+	}
+	q.nextID++
+	j := &job{
+		Job: Job{
+			ID:        fmt.Sprintf("job-%d", q.nextID),
+			Label:     label,
+			Status:    StatusQueued,
+			Submitted: time.Now(),
+		},
+		fn: fn,
+	}
+	select {
+	case q.ch <- j:
+		q.jobs[j.ID] = j
+		q.queued++
+		q.mu.Unlock()
+		return j.ID, nil
+	default:
+		q.nextID--
+		q.mu.Unlock()
+		return "", ErrFull
+	}
+}
+
+// Get snapshots a job by ID.
+func (q *Queue) Get(id string) (Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return j.Job, true
+}
+
+// Depth reports jobs accepted but not yet finished (queued + running).
+func (q *Queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.queued + q.running
+}
+
+// Capacity reports the pending-slot bound.
+func (q *Queue) Capacity() int { return cap(q.ch) }
+
+// Close stops accepting jobs and drains gracefully: every job already
+// accepted — queued or running — completes before Close returns.
+// Close is idempotent.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		q.wg.Wait()
+		return
+	}
+	q.closed = true
+	q.mu.Unlock()
+	close(q.ch)
+	q.wg.Wait()
+}

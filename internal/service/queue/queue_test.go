@@ -1,0 +1,138 @@
+package queue
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// wait polls until the job reaches a terminal state.
+func wait(t *testing.T, q *Queue, id string) Job {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if j, ok := q.Get(id); ok && j.Status.Terminal() {
+			return j
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return Job{}
+}
+
+func TestLifecycleAndResult(t *testing.T) {
+	q := New(2, 4, 16)
+	defer q.Close()
+	id, err := q.Submit("double", func() (any, error) { return 42, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := wait(t, q, id)
+	if j.Status != StatusDone || j.Result != 42 || j.Err != "" {
+		t.Fatalf("job = %+v", j)
+	}
+	if j.Label != "double" || j.Started.Before(j.Submitted) || j.Finished.Before(j.Started) {
+		t.Fatalf("lifecycle stamps wrong: %+v", j)
+	}
+
+	id, err = q.Submit("fail", func() (any, error) { return nil, fmt.Errorf("boom") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j = wait(t, q, id); j.Status != StatusFailed || j.Err != "boom" {
+		t.Fatalf("failed job = %+v", j)
+	}
+}
+
+func TestBackpressureWhenFull(t *testing.T) {
+	q := New(1, 1, 16)
+	gate := make(chan struct{})
+	running := make(chan struct{})
+	// Job 1 occupies the single worker.
+	id1, err := q.Submit("block", func() (any, error) {
+		close(running)
+		<-gate
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-running
+	// Job 2 fills the single pending slot.
+	id2, err := q.Submit("pending", func() (any, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Job 3 must bounce, not block.
+	if _, err := q.Submit("reject", func() (any, error) { return nil, nil }); err != ErrFull {
+		t.Fatalf("saturated Submit returned %v, want ErrFull", err)
+	}
+	if d := q.Depth(); d != 2 {
+		t.Fatalf("depth = %d, want 2", d)
+	}
+	close(gate)
+	wait(t, q, id1)
+	wait(t, q, id2)
+	q.Close()
+}
+
+func TestCloseDrainsAcceptedJobs(t *testing.T) {
+	q := New(1, 4, 16)
+	gate := make(chan struct{})
+	running := make(chan struct{})
+	id1, _ := q.Submit("inflight", func() (any, error) {
+		close(running)
+		<-gate
+		return "first", nil
+	})
+	<-running
+	id2, _ := q.Submit("queued", func() (any, error) { return "second", nil })
+
+	closed := make(chan struct{})
+	go func() {
+		q.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+		t.Fatal("Close returned with a job still in flight")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(gate)
+	<-closed
+
+	if j, _ := q.Get(id1); j.Status != StatusDone || j.Result != "first" {
+		t.Fatalf("in-flight job not drained: %+v", j)
+	}
+	if j, _ := q.Get(id2); j.Status != StatusDone || j.Result != "second" {
+		t.Fatalf("queued job not drained: %+v", j)
+	}
+	if _, err := q.Submit("late", func() (any, error) { return nil, nil }); err != ErrClosed {
+		t.Fatalf("post-Close Submit returned %v, want ErrClosed", err)
+	}
+	q.Close() // idempotent
+}
+
+func TestRetentionForgetsOldestCompleted(t *testing.T) {
+	q := New(1, 4, 2)
+	var ids []string
+	for i := 0; i < 4; i++ {
+		id, err := q.Submit("r", func() (any, error) { return nil, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		wait(t, q, id)
+	}
+	q.Close()
+	for _, id := range ids[:2] {
+		if _, ok := q.Get(id); ok {
+			t.Errorf("job %s should have aged out (retain 2)", id)
+		}
+	}
+	for _, id := range ids[2:] {
+		if _, ok := q.Get(id); !ok {
+			t.Errorf("job %s should be retained", id)
+		}
+	}
+}
