@@ -17,12 +17,14 @@ package swallow
 import (
 	"testing"
 
+	"swallow/internal/core"
+	"swallow/internal/experiments" // registers the artifacts; pooling toggle
 	"swallow/internal/harness"
 	"swallow/internal/harness/sweep"
 	"swallow/internal/metrics"
-
-	// Register the experiment artifacts.
-	_ "swallow/internal/experiments"
+	"swallow/internal/sim"
+	"swallow/internal/topo"
+	"swallow/internal/workload"
 )
 
 // BenchmarkArtifacts regenerates every registered table and figure.
@@ -53,12 +55,17 @@ func BenchmarkArtifacts(b *testing.B) {
 }
 
 // runSuite regenerates every artifact once at the given sweep
-// concurrency.
-func runSuite(b *testing.B, workers int) {
+// concurrency and machine-pooling setting.
+func runSuite(b *testing.B, workers int, pooled bool) {
 	b.Helper()
 	prev := sweep.Concurrency()
+	prevPool := experiments.Pooling()
 	sweep.SetConcurrency(workers)
-	defer sweep.SetConcurrency(prev)
+	experiments.SetPooling(pooled)
+	defer func() {
+		sweep.SetConcurrency(prev)
+		experiments.SetPooling(prevPool)
+	}()
 	cfg := harness.QuickConfig()
 	for i := 0; i < b.N; i++ {
 		for _, a := range harness.Artifacts() {
@@ -69,11 +76,54 @@ func runSuite(b *testing.B, workers int) {
 	}
 }
 
-// BenchmarkSuite/seq and /par time the full registry pass; their ratio
-// is the sweep engine's wall-clock gain.
+// BenchmarkSuite/seq and /par time the full registry pass (machine
+// pool on, the default); their ratio is the sweep engine's wall-clock
+// gain. par-fresh disables the pool, so par vs par-fresh is the
+// build-once/reset-many gain on the same schedule.
 func BenchmarkSuite(b *testing.B) {
-	b.Run("seq", func(b *testing.B) { runSuite(b, 1) })
-	b.Run("par", func(b *testing.B) { runSuite(b, 0) }) // 0 -> GOMAXPROCS
+	b.Run("seq", func(b *testing.B) { runSuite(b, 1, true) })
+	b.Run("par", func(b *testing.B) { runSuite(b, 0, true) }) // 0 -> GOMAXPROCS
+	b.Run("par-fresh", func(b *testing.B) { runSuite(b, 0, false) })
+}
+
+// BenchmarkMachinePool isolates the lifecycle cost the pool removes:
+// fresh builds a 16-core slice machine per iteration and runs a short
+// workload on it; pooled checks one out (reset + retune), runs the
+// same workload, and returns it.
+func BenchmarkMachinePool(b *testing.B) {
+	prog := workload.BusyLoop(2, 200)
+	node := topo.MakeNodeID(0, 0, topo.LayerV)
+	exercise := func(b *testing.B, m *core.Machine) {
+		b.Helper()
+		if err := m.Load(node, prog); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Run(sim.Millisecond); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m, err := core.New(1, 1, core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			exercise(b, m)
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		pool := core.NewPool()
+		for i := 0; i < b.N; i++ {
+			m, err := pool.Get(1, 1, core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			exercise(b, m)
+			pool.Put(m)
+		}
+	})
 }
 
 // BenchmarkEq2Analytic exercises the pure Eq. 2 law (no simulation) as

@@ -8,8 +8,9 @@
 //
 // Usage:
 //
-//	swallow-serve [-addr :8080] [-quick] [-par N]
-//	              [-workers N] [-queue N] [-cache-mb N] [-cache-entries N]
+//	swallow-serve [-addr :8080] [-quick] [-par N] [-pool=false]
+//	              [-workers N] [-queue N]
+//	              [-cache-mb N] [-cache-entries N] [-cache-ttl D]
 //
 // SIGINT/SIGTERM shut down gracefully: the listener stops accepting,
 // in-flight requests finish, and the job queue drains every accepted
@@ -28,12 +29,10 @@ import (
 	"syscall"
 	"time"
 
+	"swallow/internal/experiments" // registers the artifacts; pooling toggle
 	"swallow/internal/harness"
 	"swallow/internal/harness/sweep"
 	"swallow/internal/service/api"
-
-	// Register the experiment artifacts.
-	_ "swallow/internal/experiments"
 )
 
 func main() {
@@ -46,6 +45,8 @@ func main() {
 	queueCap := flag.Int("queue", 64, "job queue capacity (backpressure beyond it)")
 	cacheMB := flag.Int64("cache-mb", 64, "result cache bound, MiB")
 	cacheEntries := flag.Int("cache-entries", 256, "result cache bound, entries")
+	cacheTTL := flag.Duration("cache-ttl", 0, "result cache entry lifetime (0 = never expire)")
+	pool := flag.Bool("pool", true, "reuse machines across sweep points (output is identical either way)")
 	drain := flag.Duration("drain", time.Minute, "graceful shutdown budget for in-flight requests")
 	flag.Parse()
 
@@ -53,10 +54,12 @@ func main() {
 		log.Fatalf("-par must be >= 1, got %d", *par)
 	}
 	sweep.SetConcurrency(*par)
+	experiments.SetPooling(*pool)
 
 	opts := api.Options{
 		CacheBytes:    *cacheMB << 20,
 		CacheEntries:  *cacheEntries,
+		CacheTTL:      *cacheTTL,
 		Workers:       *workers,
 		QueueCapacity: *queueCap,
 	}

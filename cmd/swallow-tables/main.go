@@ -4,14 +4,17 @@
 // internal/harness artifact registry: -list enumerates the registered
 // artifacts (name and description), -only filters them, -json emits a
 // machine-readable record per artifact (render, wall time, headline
-// metrics) for CI perf trajectories, and -par/-seq choose how many
-// goroutines the inner sweeps fan out across (each sweep point owns
-// its own simulation kernel, so the output is byte-identical either
-// way).
+// metrics) for CI perf trajectories, -par/-seq choose how many
+// goroutines the inner sweeps fan out across, and -pool toggles the
+// machine pool that recycles builds across sweep points. Sweep points
+// own their simulations and pooled checkouts are observationally
+// identical to fresh builds, so every combination of flags renders
+// byte-identical output; only wall clock changes.
 //
 // Usage:
 //
-//	swallow-tables [-quick] [-only regexp] [-list] [-json] [-par N | -seq]
+//	swallow-tables [-quick] [-only regexp] [-list] [-json]
+//	               [-par N | -seq] [-pool=false]
 package main
 
 import (
@@ -24,11 +27,9 @@ import (
 	"runtime"
 	"time"
 
+	"swallow/internal/experiments" // registers the artifacts; pooling toggle
 	"swallow/internal/harness"
 	"swallow/internal/harness/sweep"
-
-	// Register the experiment artifacts.
-	_ "swallow/internal/experiments"
 )
 
 // jsonRecord is the -json per-artifact output schema, the shape CI
@@ -50,7 +51,9 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit one machine-readable JSON array (render, wall time, metrics)")
 	par := flag.Int("par", runtime.GOMAXPROCS(0), "max goroutines per sweep (output is identical at any setting)")
 	seq := flag.Bool("seq", false, "run sweeps serially (same as -par 1)")
+	pool := flag.Bool("pool", true, "reuse machines across sweep points (output is identical either way)")
 	flag.Parse()
+	experiments.SetPooling(*pool)
 
 	if *list {
 		width := 0

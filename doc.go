@@ -38,6 +38,22 @@
 // JSON endpoints. cmd/swallow-load is the matching open/closed-loop
 // load generator reporting throughput and p50/p95/p99 latency.
 //
+// # Machine lifecycle
+//
+// Machines split configuration into structure and operating point.
+// Structure — grid shape, link counts, buffer depths, channel ends,
+// latencies, routing policy — is fixed at core.New. The operating
+// point — core clock and supply voltage, link timings — is movable:
+// Machine.Retune applies a new core.OperatingPoint to a built machine,
+// and Machine.Reset rewinds everything else (kernel clock and queue,
+// fabric, threads, SRAM, counters, energy accounting, ADC baselines)
+// to the just-built state. Reset + Retune is observationally identical
+// to a fresh build, so core.Pool recycles machines keyed on structural
+// shape: frequency/DVFS sweeps, the experiment inner loops and the
+// HTTP service all check machines out, run, and return them instead of
+// rebuilding per point (drivers expose -pool=false to force fresh
+// builds; output is byte-identical either way).
+//
 // # Scheduling
 //
 // The kernel offers two APIs over one deterministic (time, seq) FIFO
@@ -45,6 +61,9 @@
 // setup code and tests. Hot paths — instruction issue, link pumps,
 // channel-end wakes, ADC ticks — use sim.Timer: allocated once with the
 // callback bound at construction, then armed, re-armed and disarmed
-// forever without allocating. See internal/sim and README.md for the
-// Timer contract.
+// forever without allocating; components embedding their timers bind
+// the callback through a preallocated sim.Waker instead of a closure.
+// Kernel.Reset drains and rewinds a kernel in place, which is what
+// makes the reset-many lifecycle above possible. See internal/sim and
+// README.md for the Timer contract.
 package swallow

@@ -23,10 +23,18 @@ func main() {
 
 	fmt.Println("frequency sweep, one slice fully loaded (4 threads/core):")
 	fmt.Println("  MHz   wall W   per-core mW   Eq.1 mW")
+	// Build the slice once; every frequency point is then a Reset
+	// (scrub run state, rewind the clock) plus a Retune (move the
+	// operating point) on the same machine — the build-once /
+	// reset-many lifecycle the sweep engine's machine pool uses.
+	m, err := core.New(1, 1, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, f := range []float64{71, 150, 250, 350, 500} {
 		cfg := xs1.Config{FreqMHz: f, VDD: 1.0}
-		m, err := core.New(1, 1, core.Options{Core: &cfg})
-		if err != nil {
+		m.Reset()
+		if err := m.Retune(core.Options{Core: &cfg}.OperatingPoint()); err != nil {
 			log.Fatal(err)
 		}
 		if err := m.LoadAll(workload.HeavyLoad(4, 30000)); err != nil {
@@ -47,8 +55,10 @@ func main() {
 	// Swallow slice itself ... a program that can measure its own power
 	// consumption and adapt to the results" (Section II).
 	fmt.Println("\nadaptive governor, 4.0 W slice budget:")
-	m, err := core.New(1, 1, core.Options{})
-	if err != nil {
+	// Recycle the sweep machine at the default operating point instead
+	// of building another.
+	m.Reset()
+	if err := m.Retune(core.Options{}.OperatingPoint()); err != nil {
 		log.Fatal(err)
 	}
 	if err := m.LoadAll(workload.HeavyLoad(4, 500000)); err != nil {

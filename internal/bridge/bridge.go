@@ -36,17 +36,21 @@ type Bridge struct {
 	tx *noc.ChanEnd // bridge -> network
 	rx *noc.ChanEnd // network -> bridge
 
-	// Ingress (host to network) queue.
+	// Ingress (host to network) queue. The pacing timers are held by
+	// value and fire through the embedded firer structs, so building a
+	// bridge allocates no callback closures.
 	sendQ   []outMsg
 	inMsg   int // bytes of head message already emitted
 	nextTx  sim.Time
-	txTimer *sim.Timer
+	txTimer sim.Timer
+	txFire  bridgeTxFirer
 
 	// Egress (network to host): completed frames, END-delimited.
 	frames  [][]byte
 	current []byte
 	nextRx  sim.Time
-	rxTimer *sim.Timer
+	rxTimer sim.Timer
+	rxFire  bridgeRxFirer
 
 	// Stats.
 	BytesIn, BytesOut uint64
@@ -56,6 +60,16 @@ type outMsg struct {
 	dest    noc.ChanEndID
 	payload []byte
 }
+
+// bridgeTxFirer / bridgeRxFirer bind the two pacing roles to methods
+// without per-build closures (sim.Waker).
+type bridgeTxFirer struct{ b *Bridge }
+
+func (f *bridgeTxFirer) Fire() { f.b.pumpTx() }
+
+type bridgeRxFirer struct{ b *Bridge }
+
+func (f *bridgeRxFirer) Fire() { f.b.pumpRx() }
 
 // New attaches a bridge at a South-edge vertical-layer node of its
 // slice, per the board design.
@@ -81,9 +95,37 @@ func New(k *sim.Kernel, net *noc.Network, node topo.NodeID) (*Bridge, error) {
 	}
 	b.rx.SetWake(b.pumpRx)
 	b.tx.SetWake(b.pumpTx)
-	b.txTimer = k.NewTimer(b.pumpTx)
-	b.rxTimer = k.NewTimer(b.pumpRx)
+	b.txFire.b, b.rxFire.b = b, b
+	b.txTimer.Init(k, &b.txFire)
+	b.rxTimer.Init(k, &b.rxFire)
 	return b, nil
+}
+
+// Reset re-attaches the bridge after its machine was Reset (which
+// released every channel end and cleared all wake callbacks): it
+// re-claims its two channel ends, re-registers the pacing wakes, and
+// clears queues, pacing deadlines and statistics, leaving the bridge
+// exactly as New built it.
+func (b *Bridge) Reset() error {
+	if !b.tx.Claim() {
+		return fmt.Errorf("bridge: channel ends already claimed at %v", b.node)
+	}
+	if !b.rx.Claim() {
+		// Leave no half-claimed state behind: a failed Reset must not
+		// leak the tx end or poison a retry.
+		b.tx.Free()
+		return fmt.Errorf("bridge: channel ends already claimed at %v", b.node)
+	}
+	b.rx.SetWake(b.pumpRx)
+	b.tx.SetWake(b.pumpTx)
+	b.txTimer.Disarm()
+	b.rxTimer.Disarm()
+	b.sendQ = nil
+	b.inMsg = 0
+	b.nextTx, b.nextRx = 0, 0
+	b.frames, b.current = nil, nil
+	b.BytesIn, b.BytesOut = 0, 0
+	return nil
 }
 
 // Node reports where the bridge is attached.

@@ -1,0 +1,102 @@
+package bridge
+
+import (
+	"bytes"
+	"testing"
+
+	"swallow/internal/noc"
+	"swallow/internal/sim"
+)
+
+// runEcho sends a payload to a drained local channel end and returns
+// the elapsed transfer time plus the byte counters.
+func runEcho(t *testing.T, k *sim.Kernel, n *noc.Network, b *Bridge) (sim.Time, uint64) {
+	t.Helper()
+	dst := n.Switch(southNode()).ChanEnd(1)
+	var got []byte
+	dst.SetWake(func() {
+		for {
+			tok, ok := dst.TryIn()
+			if !ok {
+				return
+			}
+			if !tok.Ctrl {
+				got = append(got, tok.Val)
+			}
+		}
+	})
+	payload := bytes.Repeat([]byte{0xA5}, 300)
+	start := k.Now()
+	b.Send(dst.ID(), payload)
+	for i := 0; i < 100 && b.Pending() > 0; i++ {
+		k.RunFor(100 * sim.Microsecond)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("delivered %d bytes, want %d", len(got), len(payload))
+	}
+	return k.Now() - start, b.BytesOut
+}
+
+// TestBridgeResetMatchesFresh resets the whole stack under a bridge
+// and checks a re-attached bridge behaves exactly like a fresh one:
+// same transfer timing, counters restarted from zero.
+func TestBridgeResetMatchesFresh(t *testing.T) {
+	k, n := testNet(t)
+	b, err := New(k, n, southNode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed1, out1 := runEcho(t, k, n, b)
+
+	k.Reset()
+	n.Reset()
+	if err := b.Reset(); err != nil {
+		t.Fatalf("bridge reset: %v", err)
+	}
+	if b.BytesIn != 0 || b.BytesOut != 0 || b.Pending() != 0 || len(b.Frames()) != 0 {
+		t.Fatal("reset bridge retains state")
+	}
+	elapsed2, out2 := runEcho(t, k, n, b)
+
+	if elapsed1 != elapsed2 {
+		t.Fatalf("transfer after reset took %v, fresh took %v", elapsed2, elapsed1)
+	}
+	if out1 != out2 {
+		t.Fatalf("bytes out after reset %d, fresh %d", out2, out1)
+	}
+
+	// The re-claimed channel ends must conflict like fresh ones.
+	if err := b.Reset(); err == nil {
+		t.Fatal("double reset re-claimed allocated channel ends")
+	}
+}
+
+// TestBridgeResetConflictLeavesNoClaim checks the failure path leaks
+// nothing: when the rx end is taken by someone else, Reset must not
+// leave the tx end half-claimed.
+func TestBridgeResetConflictLeavesNoClaim(t *testing.T) {
+	k, n := testNet(t)
+	b, err := New(k, n, southNode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.Reset()
+	n.Reset() // releases both bridge ends
+	sw := n.Switch(southNode())
+	rx := sw.ChanEnd(uint8(sw.ChanEndCount() - 2))
+	if !rx.Claim() {
+		t.Fatal("rx end not free after network reset")
+	}
+	if err := b.Reset(); err == nil {
+		t.Fatal("reset succeeded with rx end taken")
+	}
+	tx := sw.ChanEnd(uint8(sw.ChanEndCount() - 1))
+	if tx.Allocated() {
+		t.Fatal("failed reset leaked the tx claim")
+	}
+	// After the conflict clears, reset must succeed.
+	rx.Free()
+	if err := b.Reset(); err != nil {
+		t.Fatalf("reset after conflict cleared: %v", err)
+	}
+}

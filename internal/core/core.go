@@ -18,12 +18,76 @@ import (
 )
 
 // Options parameterises machine construction.
+//
+// Options conflates two kinds of knob. The structural half (grid
+// shape, link counts, buffer depths, channel-end counts, latencies,
+// routing policy) is baked in at build time; the run-time half — the
+// operating point (core clock and supply voltage, link timings) — can
+// be changed after construction with Machine.Retune. The machine Pool
+// keys on the structural half only, so sweep points differing only in
+// operating point share one build.
 type Options struct {
 	// Noc configures the interconnect; zero value means the Table I
 	// operating point.
 	Noc *noc.Config
 	// Core configures every processor; zero value means 500 MHz at 1 V.
 	Core *xs1.Config
+}
+
+// resolve returns the fully defaulted noc and core configurations.
+func (o Options) resolve() (noc.Config, xs1.Config) {
+	nocCfg := noc.OperatingConfig()
+	if o.Noc != nil {
+		nocCfg = *o.Noc
+	}
+	coreCfg := xs1.DefaultConfig()
+	if o.Core != nil {
+		coreCfg = *o.Core
+	}
+	return nocCfg, coreCfg
+}
+
+// OperatingPoint is the run-time half of a machine's configuration:
+// everything Machine.Retune can change on a built machine without
+// rebuilding. Frequency/DVFS sweeps move between operating points on
+// one structure.
+type OperatingPoint struct {
+	// Core is every processor's clock and supply.
+	Core xs1.Config
+	// Internal, External and OffBoard are the link timings per
+	// physical class.
+	Internal, External, OffBoard noc.LinkTiming
+}
+
+// OperatingPoint extracts the run-time half of the options, defaults
+// resolved.
+func (o Options) OperatingPoint() OperatingPoint {
+	nocCfg, coreCfg := o.resolve()
+	return OperatingPoint{
+		Core:     coreCfg,
+		Internal: nocCfg.Internal,
+		External: nocCfg.External,
+		OffBoard: nocCfg.OffBoard,
+	}
+}
+
+// shape canonically encodes the structural half of a machine build:
+// the grid and the options with every run-time (operating point) knob
+// normalised out. It is a comparable value, used directly as the
+// Pool's map key so checkout allocates nothing. Two builds with equal
+// shapes are interchangeable under Reset + Retune, which is the Pool's
+// contract.
+type shape struct {
+	slicesX, slicesY int
+	// noc is the structural network configuration, timings zeroed.
+	noc noc.Config
+}
+
+func shapeOf(slicesX, slicesY int, o Options) shape {
+	nocCfg, _ := o.resolve()
+	nocCfg.Internal, nocCfg.External, nocCfg.OffBoard =
+		noc.LinkTiming{}, noc.LinkTiming{}, noc.LinkTiming{}
+	return shape{slicesX: slicesX, slicesY: slicesY, noc: nocCfg}
 }
 
 // SupplyGroups is the number of core supplies per slice: four 1 V
@@ -53,12 +117,18 @@ type Machine struct {
 	Net *noc.Network
 
 	cores map[topo.NodeID]*xs1.Core
+	// nodes caches Sys.Nodes() — the deterministic iteration order every
+	// whole-machine loop (run polling, energy sums, reset) walks without
+	// re-allocating the list.
+	nodes []topo.NodeID
 
 	// supplies[sliceIndex][rail]; rail SliceSupplies-1 is the 3.3 V rail.
 	supplies [][]*power.Supply
 	boards   []*power.Board
 
 	epoch sim.Time
+	// shape is the structural key the Pool files this machine under.
+	shape shape
 }
 
 // New builds a machine over a slicesX x slicesY board grid.
@@ -67,21 +137,21 @@ func New(slicesX, slicesY int, opts Options) (*Machine, error) {
 	if err != nil {
 		return nil, err
 	}
-	nocCfg := noc.OperatingConfig()
-	if opts.Noc != nil {
-		nocCfg = *opts.Noc
-	}
-	coreCfg := xs1.DefaultConfig()
-	if opts.Core != nil {
-		coreCfg = *opts.Core
-	}
+	nocCfg, coreCfg := opts.resolve()
 	k := sim.NewKernel()
 	net, err := noc.NewNetwork(k, sys, nocCfg)
 	if err != nil {
 		return nil, err
 	}
-	m := &Machine{K: k, Sys: sys, Net: net, cores: make(map[topo.NodeID]*xs1.Core)}
-	for _, node := range sys.Nodes() {
+	m := &Machine{
+		K:     k,
+		Sys:   sys,
+		Net:   net,
+		cores: make(map[topo.NodeID]*xs1.Core),
+		nodes: sys.Nodes(),
+		shape: shapeOf(slicesX, slicesY, opts),
+	}
+	for _, node := range m.nodes {
 		c, err := xs1.NewCore(k, net.Switch(node), coreCfg)
 		if err != nil {
 			return nil, err
@@ -92,6 +162,42 @@ func New(slicesX, slicesY int, opts Options) (*Machine, error) {
 		return nil, err
 	}
 	return m, nil
+}
+
+// Reset rewinds the whole machine to its just-built state — kernel
+// clock and queue, network fabric, every core's threads/SRAM/counters/
+// energy, measurement-board baselines — while keeping all structure
+// and capacity. A reset machine is observationally identical to a
+// fresh New with the same options and the machine's current operating
+// point; Retune moves it to a different one. Reset must not be called
+// while the kernel is executing an event.
+func (m *Machine) Reset() {
+	m.K.Reset()
+	m.Net.Reset()
+	for _, node := range m.nodes {
+		m.cores[node].Reset()
+	}
+	for _, b := range m.boards {
+		b.Reset()
+	}
+	m.epoch = 0
+}
+
+// Retune moves the machine to a new operating point — every core's
+// clock and supply, every link's timing — without rebuilding any
+// structure. The core config is validated once up front, so Retune
+// either applies everywhere or changes nothing.
+func (m *Machine) Retune(op OperatingPoint) error {
+	if err := op.Core.Validate(); err != nil {
+		return err
+	}
+	for _, node := range m.nodes {
+		if err := m.cores[node].Retune(op.Core); err != nil {
+			return err
+		}
+	}
+	m.Net.Retune(op.Internal, op.External, op.OffBoard)
+	return nil
 }
 
 // MustNew is New for known-good literals; it panics on error.
@@ -172,9 +278,8 @@ func (m *Machine) CoreAt(x, y int, l topo.Layer) *xs1.Core {
 
 // Cores enumerates processors in deterministic node order.
 func (m *Machine) Cores() []*xs1.Core {
-	nodes := m.Sys.Nodes()
-	out := make([]*xs1.Core, len(nodes))
-	for i, n := range nodes {
+	out := make([]*xs1.Core, len(m.nodes))
+	for i, n := range m.nodes {
 		out[i] = m.cores[n]
 	}
 	return out
@@ -197,7 +302,7 @@ func (m *Machine) Load(node topo.NodeID, p *xs1.Program) error {
 
 // LoadAll places the same program on every core.
 func (m *Machine) LoadAll(p *xs1.Program) error {
-	for _, node := range m.Sys.Nodes() {
+	for _, node := range m.nodes {
 		if err := m.cores[node].Load(p); err != nil {
 			return err
 		}
@@ -216,7 +321,7 @@ func (m *Machine) Run(horizon sim.Time) error {
 	for m.K.Now() < deadline {
 		m.K.RunFor(step)
 		done := true
-		for _, node := range m.Sys.Nodes() {
+		for _, node := range m.nodes {
 			c := m.cores[node]
 			if err := c.Trapped(); err != nil {
 				return fmt.Errorf("core %v: %w", node, err)
@@ -235,11 +340,13 @@ func (m *Machine) Run(horizon sim.Time) error {
 // RunFor advances simulation by d without completion checks.
 func (m *Machine) RunFor(d sim.Time) { m.K.RunFor(d) }
 
-// TotalCoreEnergyJ sums processor energy across the machine.
+// TotalCoreEnergyJ sums processor energy across the machine in
+// deterministic node order (float sums must not depend on map order,
+// or a reset re-run could differ in the last bit).
 func (m *Machine) TotalCoreEnergyJ() float64 {
 	e := 0.0
-	for _, c := range m.cores {
-		e += c.EnergyJ()
+	for _, node := range m.nodes {
+		e += m.cores[node].EnergyJ()
 	}
 	return e
 }
@@ -247,8 +354,8 @@ func (m *Machine) TotalCoreEnergyJ() float64 {
 // TotalInstrCount sums executed instructions.
 func (m *Machine) TotalInstrCount() uint64 {
 	var n uint64
-	for _, c := range m.cores {
-		n += c.InstrCount
+	for _, node := range m.nodes {
+		n += m.cores[node].InstrCount
 	}
 	return n
 }
@@ -279,16 +386,16 @@ func (m *Machine) MeanWallPowerW() float64 {
 // threads per core ("the system provides up to 240 GIPS").
 func (m *Machine) PeakGIPS() float64 {
 	f := 0.0
-	for _, c := range m.cores {
-		f += c.Config().FreqMHz * 1e6
+	for _, node := range m.nodes {
+		f += m.cores[node].Config().FreqMHz * 1e6
 	}
 	return f / 1e9
 }
 
 // SetAllFrequencies rescales every core clock (global DFS).
 func (m *Machine) SetAllFrequencies(fMHz float64) error {
-	for _, c := range m.cores {
-		if err := c.SetFrequency(fMHz); err != nil {
+	for _, node := range m.nodes {
+		if err := m.cores[node].SetFrequency(fMHz); err != nil {
 			return err
 		}
 	}
@@ -339,7 +446,8 @@ func (m *Machine) Report() EnergyReport {
 	var r EnergyReport
 	r.Elapsed = m.K.Now() - m.epoch
 	coreOut := 0.0
-	for _, c := range m.cores {
+	for _, node := range m.nodes {
+		c := m.cores[node]
 		r.ComputationJ += c.DynamicEnergyJ()
 		coreOut += c.EnergyJ()
 	}

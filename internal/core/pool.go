@@ -1,0 +1,108 @@
+package core
+
+import "sync"
+
+// Pool reuses built machines across runs. Machine construction —
+// cores, SRAM, fabric, power tree, thousands of allocations — is the
+// dominant per-point cost of a sweep now that the steady-state
+// simulation is allocation-free; the Pool amortises one build across
+// any number of points by keying idle machines on their structural
+// shape (grid plus the non-operating-point half of Options) and
+// handing them back through Reset + Retune.
+//
+// The contract: Get returns a machine observationally identical to
+// New(slicesX, slicesY, opts) — byte-identical simulation output —
+// whether it was built fresh or recycled. Put returns a machine for
+// reuse; a machine must be Put at most once per Get and never used
+// after. Pool is safe for concurrent use (sweep workers check out in
+// parallel); each checked-out machine belongs to exactly one caller.
+type Pool struct {
+	mu    sync.Mutex
+	idle  map[shape][]*Machine
+	stats PoolStats
+}
+
+// PoolStats counts pool traffic: Reuses is the builds avoided.
+type PoolStats struct {
+	// Builds counts Gets that constructed a fresh machine.
+	Builds int64
+	// Reuses counts Gets served by recycling an idle machine.
+	Reuses int64
+	// Returns counts Puts.
+	Returns int64
+	// Idle is the machines currently parked, across all shapes.
+	Idle int
+}
+
+// NewPool builds an empty pool.
+func NewPool() *Pool {
+	return &Pool{idle: make(map[shape][]*Machine)}
+}
+
+// Get checks out a machine equivalent to New(slicesX, slicesY, opts):
+// an idle machine of the same shape reset and retuned to the options'
+// operating point, or a fresh build when none is parked. The caller
+// owns the machine until Put.
+func (p *Pool) Get(slicesX, slicesY int, opts Options) (*Machine, error) {
+	// Validate the operating point up front so pooled and fresh paths
+	// reject bad options identically, before any state changes hands.
+	op := opts.OperatingPoint()
+	if err := op.Core.Validate(); err != nil {
+		return nil, err
+	}
+	key := shapeOf(slicesX, slicesY, opts)
+	var m *Machine
+	p.mu.Lock()
+	if list := p.idle[key]; len(list) > 0 {
+		m = list[len(list)-1]
+		list[len(list)-1] = nil
+		p.idle[key] = list[:len(list)-1]
+		p.stats.Reuses++
+	} else {
+		p.stats.Builds++
+	}
+	p.mu.Unlock()
+	if m == nil {
+		return New(slicesX, slicesY, opts)
+	}
+	if err := m.Retune(op); err != nil {
+		// Unreachable after the upfront validation, but never leak the
+		// checkout on the error path.
+		p.Put(m)
+		return nil, err
+	}
+	return m, nil
+}
+
+// Put parks a machine for reuse. The machine is Reset immediately so
+// idle machines hold no run state (programs, traces, wake callbacks)
+// and a later Get only retunes.
+func (p *Pool) Put(m *Machine) {
+	if m == nil {
+		return
+	}
+	m.Reset()
+	p.mu.Lock()
+	p.idle[m.shape] = append(p.idle[m.shape], m)
+	p.stats.Returns++
+	p.mu.Unlock()
+}
+
+// Stats snapshots the pool counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.stats
+	for _, list := range p.idle {
+		s.Idle += len(list)
+	}
+	return s
+}
+
+// Drain releases every idle machine (large grids hold megabytes of
+// simulated SRAM); checked-out machines are unaffected.
+func (p *Pool) Drain() {
+	p.mu.Lock()
+	p.idle = make(map[shape][]*Machine)
+	p.mu.Unlock()
+}

@@ -33,11 +33,12 @@ type TableIRow struct {
 // TableI saturates one link of each physical class and measures
 // energy-per-bit and link power.
 func TableI() ([]TableIRow, error) {
-	k := sim.NewKernel()
-	net, err := noc.NewNetwork(k, topo.MustSystem(2, 1), noc.OperatingConfig())
+	m, release, err := checkout(2, 1, core.Options{})
 	if err != nil {
 		return nil, err
 	}
+	defer release()
+	k, net := m.K, m.Net
 	type route struct {
 		src, dst topo.NodeID
 	}
@@ -116,10 +117,11 @@ var Fig3Frequencies = []float64{71, 125, 200, 275, 350, 425, 500}
 func Fig3(iters int) ([]Fig3Point, error) {
 	return sweep.Map(Fig3Frequencies, func(_ int, f float64) (Fig3Point, error) {
 		cfg := coreCfg(f)
-		m, err := core.New(1, 1, core.Options{Core: &cfg})
+		m, release, err := checkout(1, 1, core.Options{Core: &cfg})
 		if err != nil {
 			return Fig3Point{}, err
 		}
+		defer release()
 		// Load the four cores of supply group 0 (package rows 0).
 		prog := workload.HeavyLoad(4, iters)
 		for _, node := range supplyGroupNodes(0) {
@@ -135,10 +137,11 @@ func Fig3(iters int) ([]Fig3Point, error) {
 		active := smp.OutputW[0]
 
 		// Idle machine at the same frequency.
-		mi, err := core.New(1, 1, core.Options{Core: &cfg})
+		mi, releaseIdle, err := checkout(1, 1, core.Options{Core: &cfg})
 		if err != nil {
 			return Fig3Point{}, err
 		}
+		defer releaseIdle()
 		mi.RunFor(500 * sim.Microsecond)
 		smpIdle := mi.Board(0).SampleAll()
 		idle := smpIdle.OutputW[0]
@@ -200,10 +203,11 @@ type Fig4Point struct {
 // measureLoadedCorePower runs a four-thread heavy load on one core at
 // the given operating point and returns its steady-state power.
 func measureLoadedCorePower(cfg xs1.Config, iters int) (float64, error) {
-	m, err := core.New(1, 1, core.Options{Core: &cfg})
+	m, release, err := checkout(1, 1, core.Options{Core: &cfg})
 	if err != nil {
 		return 0, err
 	}
+	defer release()
 	node := topo.MakeNodeID(0, 0, topo.LayerV)
 	if err := m.Load(node, workload.HeavyLoad(4, iters)); err != nil {
 		return 0, err
@@ -268,10 +272,11 @@ type Fig2Result struct {
 func Fig2(iters int) (Fig2Result, error) {
 	var res Fig2Result
 	res.Published = energy.PaperNodeBudget
-	m, err := core.New(1, 1, core.Options{})
+	m, release, err := checkout(1, 1, core.Options{})
 	if err != nil {
 		return res, err
 	}
+	defer release()
 	if err := m.LoadAll(workload.HeavyLoad(4, iters)); err != nil {
 		return res, err
 	}

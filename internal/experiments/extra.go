@@ -7,7 +7,6 @@ import (
 	"swallow/internal/core"
 	"swallow/internal/energy"
 	"swallow/internal/harness/sweep"
-	"swallow/internal/noc"
 	"swallow/internal/nos"
 	"swallow/internal/power"
 	"swallow/internal/report"
@@ -52,10 +51,11 @@ func RenderEnergyCompare(e EnergyCompare) *report.Table {
 // verifies the reconstructed power against the machine's energy
 // accounting.
 func MeasurementRates() error {
-	m, err := core.New(1, 1, core.Options{})
+	m, release, err := checkout(1, 1, core.Options{})
 	if err != nil {
 		return err
 	}
+	defer release()
 	if err := m.LoadAll(workload.HeavyLoad(4, 40000)); err != nil {
 		return err
 	}
@@ -98,11 +98,12 @@ func MeasurementRates() error {
 // BridgeRate measures the Ethernet bridge's achieved ingress rate
 // against its 80 Mbit/s cap.
 func BridgeRate() (float64, error) {
-	k := sim.NewKernel()
-	net, err := noc.NewNetwork(k, topo.MustSystem(1, 1), noc.OperatingConfig())
+	m, release, err := checkout(1, 1, core.Options{})
 	if err != nil {
 		return 0, err
 	}
+	defer release()
+	k, net := m.K, m.Net
 	br, err := bridge.New(k, net, topo.MakeNodeID(0, 3, topo.LayerV))
 	if err != nil {
 		return 0, err
@@ -138,11 +139,12 @@ func BridgeRate() (float64, error) {
 // recommendations.
 func AblationPlacement() (map[string]float64, error) {
 	rates, err := sweep.Map(streamPlacements, func(_ int, p streamPlacement) (float64, error) {
-		k := sim.NewKernel()
-		net, err := noc.NewNetwork(k, topo.MustSystem(2, 1), noc.OperatingConfig())
+		m, release, err := checkout(2, 1, core.Options{})
 		if err != nil {
 			return 0, err
 		}
+		defer release()
+		net := m.Net
 		dst, dstEnd := p.dst, uint8(0)
 		if p.src == p.dst {
 			// Two channel ends on one core, host-driven.
@@ -153,7 +155,7 @@ func AblationPlacement() (map[string]float64, error) {
 			Dst:    net.Switch(dst).ChanEnd(dstEnd),
 			Tokens: 8000,
 		}
-		if err := workload.RunFlows(k, []*workload.Flow{f}, sim.Second); err != nil {
+		if err := workload.RunFlows(m.K, []*workload.Flow{f}, sim.Second); err != nil {
 			return 0, err
 		}
 		return f.GoodputBitsPerSec(), nil
@@ -222,10 +224,11 @@ func RenderMeasurementRates() *report.Table {
 // BootCost boots a four-core job over the network through the bridge
 // and reports the nOS loading cost.
 func BootCost() (nos.BootStats, error) {
-	m, err := core.New(1, 1, core.Options{})
+	m, release, err := checkout(1, 1, core.Options{})
 	if err != nil {
 		return nos.BootStats{}, err
 	}
+	defer release()
 	br, err := bridge.New(m.K, m.Net, topo.MakeNodeID(0, 3, topo.LayerV))
 	if err != nil {
 		return nos.BootStats{}, err

@@ -41,10 +41,11 @@ const instrTimeNS = 8.0
 // software-measured figures do).
 func wordLatency(a, b topo.NodeID) (sim.Time, error) {
 	cfg := noc.MaxRateConfig()
-	m, err := core.New(2, 1, core.Options{Noc: &cfg})
+	m, release, err := checkout(2, 1, core.Options{Noc: &cfg})
 	if err != nil {
 		return 0, err
 	}
+	defer release()
 	const rounds = 32
 	if err := m.Load(b, workload.PingRx(noc.MakeChanEndID(uint16(a), 0), rounds)); err != nil {
 		return 0, err
@@ -157,10 +158,11 @@ func LatenciesFor(names []string) ([]LatencyRow, error) {
 // coreLocalWordLatency ping-pongs between two threads of one core.
 func coreLocalWordLatency() (sim.Time, error) {
 	cfg := noc.MaxRateConfig()
-	m, err := core.New(1, 1, core.Options{Noc: &cfg})
+	m, release, err := checkout(1, 1, core.Options{Noc: &cfg})
 	if err != nil {
 		return 0, err
 	}
+	defer release()
 	node := topo.MakeNodeID(0, 0, topo.LayerV)
 	// Thread 0 ping-pongs with a sibling thread through two channel
 	// ends on the same core; the main thread wires both directions
@@ -254,21 +256,23 @@ type GoodputPoint struct {
 }
 
 // GoodputSweep measures packetised goodput across payload sizes, one
-// independent network per point under sweep.Map.
+// independent machine per point under sweep.Map (flows are
+// host-driven, so the cores stay idle and schedule nothing).
 func GoodputSweep(payloads []int) ([]GoodputPoint, error) {
 	return sweep.Map(payloads, func(_ int, n int) (GoodputPoint, error) {
-		k := sim.NewKernel()
-		net, err := noc.NewNetwork(k, topo.MustSystem(1, 1), noc.OperatingConfig())
+		m, release, err := checkout(1, 1, core.Options{})
 		if err != nil {
 			return GoodputPoint{}, err
 		}
+		defer release()
+		net := m.Net
 		f := &workload.Flow{
 			Src:          net.Switch(topo.MakeNodeID(0, 0, topo.LayerV)).ChanEnd(0),
 			Dst:          net.Switch(topo.MakeNodeID(0, 1, topo.LayerV)).ChanEnd(0),
 			Tokens:       n * 120,
 			PacketTokens: n,
 		}
-		if err := workload.RunFlows(k, []*workload.Flow{f}, sim.Second); err != nil {
+		if err := workload.RunFlows(m.K, []*workload.Flow{f}, sim.Second); err != nil {
 			return GoodputPoint{}, err
 		}
 		rate := noc.TimingExternalOperating.BitRate()
@@ -406,13 +410,13 @@ func ECRatios() ([]ECRow, error) {
 	return sweep.Map(ecRegimes(), func(_ int, r ecRegime) (ECRow, error) {
 		c := r.eMult * e // issue-limited regimes: C = E
 		if r.build != nil {
-			k := sim.NewKernel()
-			net, err := noc.NewNetwork(k, topo.MustSystem(1, 1), noc.OperatingConfig())
+			m, release, err := checkout(1, 1, core.Options{})
 			if err != nil {
 				return ECRow{}, err
 			}
-			flows := r.build(net)
-			if err := workload.RunFlows(k, flows, sim.Second); err != nil {
+			defer release()
+			flows := r.build(m.Net)
+			if err := workload.RunFlows(m.K, flows, sim.Second); err != nil {
 				return ECRow{}, err
 			}
 			c = workload.AggregateGoodput(flows)
@@ -451,10 +455,11 @@ type Eq2Point struct {
 // independent machine per count under sweep.Map.
 func Eq2(iters int) ([]Eq2Point, error) {
 	return sweep.Map([]int{1, 2, 3, 4, 5, 6, 7, 8}, func(_ int, nt int) (Eq2Point, error) {
-		m, err := core.New(1, 1, core.Options{})
+		m, release, err := checkout(1, 1, core.Options{})
 		if err != nil {
 			return Eq2Point{}, err
 		}
+		defer release()
 		node := topo.MakeNodeID(0, 0, topo.LayerV)
 		if err := m.Load(node, workload.BusyLoop(nt, iters)); err != nil {
 			return Eq2Point{}, err
@@ -535,11 +540,14 @@ func AblationLinks() (map[int]float64, error) {
 	rates, err := sweep.Map([]int{1, 2, 3, 4}, func(_ int, links int) (float64, error) {
 		cfg := noc.OperatingConfig()
 		cfg.InternalLinks = links
-		k := sim.NewKernel()
-		net, err := noc.NewNetwork(k, topo.MustSystem(1, 1), cfg)
+		// The enabled-link count is structural, so each count is its own
+		// pool shape.
+		m, release, err := checkout(1, 1, core.Options{Noc: &cfg})
 		if err != nil {
 			return 0, err
 		}
+		defer release()
+		net := m.Net
 		var fs []*workload.Flow
 		for i := 0; i < 4; i++ {
 			fs = append(fs, &workload.Flow{
@@ -549,7 +557,7 @@ func AblationLinks() (map[int]float64, error) {
 				PacketTokens: 30,
 			})
 		}
-		if err := workload.RunFlows(k, fs, sim.Second); err != nil {
+		if err := workload.RunFlows(m.K, fs, sim.Second); err != nil {
 			return 0, err
 		}
 		return workload.AggregateGoodput(fs), nil
@@ -608,10 +616,11 @@ type SystemScale struct {
 // end).
 func Scale(iters int) (SystemScale, error) {
 	var s SystemScale
-	m, err := core.New(5, 6, core.Options{})
+	m, release, err := checkout(5, 6, core.Options{})
 	if err != nil {
 		return s, err
 	}
+	defer release()
 	s.Slices = m.Slices()
 	s.Cores = m.CoreCount()
 	s.PeakGIPS = m.PeakGIPS()
@@ -625,10 +634,11 @@ func Scale(iters int) (SystemScale, error) {
 	s.IdleWallW = idle
 
 	// Load slice 0 fully and measure its wall power.
-	lm, err := core.New(1, 1, core.Options{})
+	lm, releaseLoaded, err := checkout(1, 1, core.Options{})
 	if err != nil {
 		return s, err
 	}
+	defer releaseLoaded()
 	if err := lm.LoadAll(workload.HeavyLoad(4, iters)); err != nil {
 		return s, err
 	}

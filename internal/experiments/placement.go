@@ -59,10 +59,11 @@ func runPipeline(name string, nodes []topo.NodeID, items int) (PlacementEnergyRe
 	var res PlacementEnergyResult
 	res.Name = name
 	res.Items = items
-	m, err := core.New(2, 2, core.Options{})
+	m, release, err := checkout(2, 2, core.Options{})
 	if err != nil {
 		return res, err
 	}
+	defer release()
 	chan0 := func(n topo.NodeID) noc.ChanEndID { return noc.MakeChanEndID(uint16(n), 0) }
 	// nodes = source, stage1..3, sink.
 	if err := m.Load(nodes[4], workload.PipelineSink(items)); err != nil {

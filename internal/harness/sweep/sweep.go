@@ -1,10 +1,13 @@
 // Package sweep fans independent experiment points out across
 // goroutines. Every table and figure sweep in this repository shares
 // one shape: a small grid of points (frequencies, thread counts,
-// payload sizes, placements), each of which builds its own sim.Kernel
-// and machine, runs it, and reduces to one result value. Points share
-// nothing mutable — only read-only spec tables — so they may run
-// concurrently without changing any result.
+// payload sizes, placements), each of which owns its own sim.Kernel
+// and machine — checked out of the experiments' machine pool (reset
+// and retuned, observationally identical to a fresh build) or built
+// fresh with pooling off — runs it, and reduces to one result value.
+// Points share nothing mutable — only read-only spec tables and the
+// mutex-guarded pool checkout — so they may run concurrently without
+// changing any result.
 //
 // Map preserves that contract: results come back in point order, and
 // the error returned is the lowest-indexed failure, exactly the one a

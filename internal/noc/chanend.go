@@ -39,15 +39,28 @@ type ChanEnd struct {
 	// or output space freed. wakeTimer carries the firing; it reads the
 	// current wake at fire time, so SetWake needs no rescheduling.
 	wake      func()
-	wakeTimer *sim.Timer
+	wakeTimer sim.Timer
+	wakeFire  chanWakeFirer
 
 	// injectTimer kicks the injection port after the core-to-network
 	// latency; one pending kick covers every token pushed before it.
-	injectTimer *sim.Timer
+	// Both timers are value-held and fire through preallocated wakers,
+	// so building a channel end allocates no callback closures.
+	injectTimer sim.Timer
 
 	// Stats.
 	TokensIn  uint64
 	TokensOut uint64
+}
+
+// chanWakeFirer fires the channel end's current wake callback; reading
+// ce.wake at fire time keeps SetWake free of rescheduling.
+type chanWakeFirer struct{ ce *ChanEnd }
+
+func (f *chanWakeFirer) Fire() {
+	if fn := f.ce.wake; fn != nil {
+		fn()
+	}
 }
 
 func newChanEnd(sw *Switch, idx uint8) *ChanEnd {
@@ -55,13 +68,32 @@ func newChanEnd(sw *Switch, idx uint8) *ChanEnd {
 	// The output FIFO must hold a full header plus a word so a single
 	// OUT instruction never deadlocks half-injected.
 	ce.src = newChanInPort(ce, sw.net.Cfg.ChanEndBuffer+HeaderTokens+1)
-	ce.wakeTimer = sw.net.K.NewTimer(func() {
-		if fn := ce.wake; fn != nil {
-			fn()
-		}
-	})
-	ce.injectTimer = sw.net.K.NewTimer(ce.src.process)
+	ce.wakeFire.ce = ce
+	ce.wakeTimer.Init(sw.net.K, &ce.wakeFire)
+	// The injection kick is exactly a process pass on the source port.
+	ce.injectTimer.Init(sw.net.K, ce.src)
 	return ce
+}
+
+// reset returns the channel end (and its injection port) to the
+// power-on state: unallocated, no destination, closed route, empty
+// buffers, no wake callback, zeroed counters.
+func (ce *ChanEnd) reset() {
+	ce.wakeTimer.Disarm()
+	ce.injectTimer.Disarm()
+	ce.allocated = false
+	ce.dest = 0
+	ce.destSet = false
+	ce.routeOpen = false
+	ce.in = ce.in[:0]
+	ce.owner = nil
+	clear(ce.waiters)
+	ce.waiters = ce.waiters[:0]
+	clear(ce.spaceWaiters)
+	ce.spaceWaiters = ce.spaceWaiters[:0]
+	ce.wake = nil
+	ce.TokensIn, ce.TokensOut = 0, 0
+	ce.src.reset()
 }
 
 // ID reports the globally routable identifier of this channel end.

@@ -39,17 +39,23 @@ type inPort struct {
 	out          *Link
 	localDst     *ChanEnd
 
-	// nudgeTimer coalesces re-entrant process() nudges.
-	nudgeTimer *sim.Timer
+	// nudgeTimer coalesces re-entrant process() nudges. It is held by
+	// value and targets the port itself (Fire), so building a port
+	// allocates no callback closure.
+	nudgeTimer sim.Timer
 
 	// DroppedTokens counts protocol errors (control tokens arriving
 	// where a header byte was expected).
 	DroppedTokens uint64
 }
 
+// Fire implements sim.Waker: a nudge (or an injection kick from the
+// port's channel end) runs one process pass.
+func (p *inPort) Fire() { p.process() }
+
 func newLinkInPort(sw *Switch, name string, capacity int) *inPort {
 	p := &inPort{sw: sw, name: name, cap: capacity, hdrNeed: HeaderTokens}
-	p.nudgeTimer = sw.net.K.NewTimer(p.process)
+	p.nudgeTimer.Init(sw.net.K, p)
 	return p
 }
 
@@ -61,8 +67,23 @@ func newChanInPort(ce *ChanEnd, capacity int) *inPort {
 		srcChan: ce,
 		hdrNeed: HeaderTokens,
 	}
-	p.nudgeTimer = ce.sw.net.K.NewTimer(p.process)
+	p.nudgeTimer.Init(ce.sw.net.K, p)
 	return p
+}
+
+// reset returns the port to its just-built state (buffer capacity
+// kept), mid-packet wormhole state included.
+func (p *inPort) reset() {
+	p.nudgeTimer.Disarm()
+	p.fifo = p.fifo[:0]
+	p.hdrNeed = HeaderTokens
+	p.hdr = [3]byte{}
+	p.hdrSend = 0
+	p.routed = false
+	p.waitingGrant = false
+	p.out = nil
+	p.localDst = nil
+	p.DroppedTokens = 0
 }
 
 func (p *inPort) String() string { return fmt.Sprintf("inport %s", p.name) }

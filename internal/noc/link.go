@@ -124,29 +124,51 @@ type Link struct {
 	// re-granting after release.
 	outPort *outPort
 
-	credits     int
+	credits int
+	// initCredits is the construction-time credit allowance, restored
+	// by reset.
+	initCredits int
 	busyUntil   sim.Time
 	hopLatency  sim.Time
 	energyPerBt float64
 
-	// pumpTimer drives transmission attempts; it re-arms forever.
-	pumpTimer *sim.Timer
+	// pumpTimer drives transmission attempts; it re-arms forever. The
+	// timers are held by value and fire through the embedded firer
+	// structs below, so building a link allocates no callback closures.
+	pumpTimer sim.Timer
+	pumpFire  linkPumpFirer
 
 	// In-flight tokens ride a per-link FIFO instead of per-token
 	// closure events: transmissions serialize, so arrival times are
 	// nondecreasing and one timer walks the queue head.
 	deliv      []delivery
 	delivHead  int
-	delivTimer *sim.Timer
+	delivTimer sim.Timer
+	delivFire  linkDelivFirer
 
 	// Returning credits are the same shape: constant reverse-wire delay
 	// from nondecreasing consume times.
 	creditQ     []sim.Time
 	creditHead  int
-	creditTimer *sim.Timer
+	creditTimer sim.Timer
+	creditFire  linkCreditFirer
 
 	Stats LinkStats
 }
+
+// The firer structs bind each of the link's three timer roles to a
+// method without a per-link closure (sim.Waker).
+type linkPumpFirer struct{ l *Link }
+
+func (f *linkPumpFirer) Fire() { f.l.pump() }
+
+type linkDelivFirer struct{ l *Link }
+
+func (f *linkDelivFirer) Fire() { f.l.deliverDue() }
+
+type linkCreditFirer struct{ l *Link }
+
+func (f *linkCreditFirer) Fire() { f.l.creditsDue() }
 
 // delivery is one token in flight toward the destination port.
 type delivery struct {
@@ -161,12 +183,32 @@ func newLink(k *sim.Kernel, name string, class energy.LinkClass, timing LinkTimi
 		timing:      timing,
 		k:           k,
 		credits:     credits,
+		initCredits: credits,
 		energyPerBt: energy.LinkEnergyPerBit(class),
 	}
-	l.pumpTimer = k.NewTimer(l.pump)
-	l.delivTimer = k.NewTimer(l.deliverDue)
-	l.creditTimer = k.NewTimer(l.creditsDue)
+	l.pumpFire.l, l.delivFire.l, l.creditFire.l = l, l, l
+	l.pumpTimer.Init(k, &l.pumpFire)
+	l.delivTimer.Init(k, &l.delivFire)
+	l.creditTimer.Init(k, &l.creditFire)
 	return l
+}
+
+// reset returns the link to its just-built state: timers disarmed,
+// full credit allowance, empty wire and queues, zeroed statistics.
+// Queue capacity is kept for reuse.
+func (l *Link) reset() {
+	l.pumpTimer.Disarm()
+	l.delivTimer.Disarm()
+	l.creditTimer.Disarm()
+	l.owner = nil
+	l.credits = l.initCredits
+	l.busyUntil = 0
+	clear(l.deliv)
+	l.deliv = l.deliv[:0]
+	l.delivHead = 0
+	l.creditQ = l.creditQ[:0]
+	l.creditHead = 0
+	l.Stats = LinkStats{}
 }
 
 // Class reports the physical class of the link.

@@ -176,6 +176,17 @@ func NewBoard(k *sim.Kernel, supplies []*Supply) (*Board, error) {
 	return b, nil
 }
 
+// Reset re-baselines the board after a machine reset: the averaging
+// window restarts at the current kernel time with the loads' current
+// (post-reset) cumulative energies, exactly the state NewBoard
+// captures at construction.
+func (b *Board) Reset() {
+	b.lastT = b.k.Now()
+	for i, s := range b.Supplies {
+		b.lastE[i] = s.OutputEnergyJ()
+	}
+}
+
 // SampleAll measures every channel's average power since the previous
 // sample through the full shunt -> amplifier -> ADC chain. The first
 // call after construction averages from board attach time.

@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+	"time"
 
 	"swallow/internal/harness"
 )
@@ -52,7 +53,10 @@ type Stats struct {
 	Hits, Misses, Evictions int64
 	// Shared counts GetOrFill callers that piggybacked on another
 	// caller's in-flight fill instead of running their own.
-	Shared  int64
+	Shared int64
+	// Expired counts lookups that found an entry past its TTL (each is
+	// also counted as a miss).
+	Expired int64
 	Entries int
 	Bytes   int64
 }
@@ -61,6 +65,8 @@ type Stats struct {
 type entry struct {
 	key string
 	val Entry
+	// filled stamps the fill completion, for TTL expiry.
+	filled time.Time
 }
 
 // flight is one in-progress fill; followers wait on done.
@@ -76,6 +82,8 @@ type Cache struct {
 	mu       sync.Mutex
 	maxBytes int64
 	maxEnt   int
+	ttl      time.Duration
+	now      func() time.Time
 	bytes    int64
 	ll       *list.List // front = most recent
 	items    map[string]*list.Element
@@ -83,17 +91,50 @@ type Cache struct {
 	stats    Stats
 }
 
+// Option configures a Cache at construction.
+type Option func(*Cache)
+
+// WithTTL expires entries d after their fill completed: a lookup past
+// the deadline counts as a miss and the entry is dropped (expiry is
+// lazy — idle entries linger until looked up or evicted by capacity).
+// Artifacts are pure, so the default — d = 0, never expire — stays
+// correct; a TTL bounds staleness if configs ever gain inputs the
+// cache key cannot see.
+func WithTTL(d time.Duration) Option {
+	return func(c *Cache) { c.ttl = d }
+}
+
 // New builds a cache bounded to maxBytes total body bytes and
 // maxEntries renders. Non-positive bounds mean "unbounded" in that
 // dimension.
-func New(maxBytes int64, maxEntries int) *Cache {
-	return &Cache{
+func New(maxBytes int64, maxEntries int, opts ...Option) *Cache {
+	c := &Cache{
 		maxBytes: maxBytes,
 		maxEnt:   maxEntries,
+		now:      time.Now,
 		ll:       list.New(),
 		items:    make(map[string]*list.Element),
 		inflight: make(map[string]*flight),
 	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// expired reports whether ent is past its TTL. Caller holds mu.
+func (c *Cache) expired(ent *entry) bool {
+	return c.ttl > 0 && c.now().Sub(ent.filled) > c.ttl
+}
+
+// dropExpired removes an expired element; the caller books the miss
+// it turns into. Caller holds mu.
+func (c *Cache) dropExpired(el *list.Element) {
+	ent := el.Value.(*entry)
+	c.ll.Remove(el)
+	delete(c.items, ent.key)
+	c.bytes -= int64(len(ent.val.Body))
+	c.stats.Expired++
 }
 
 // Get returns the cached entry for key, marking it most recently used.
@@ -102,6 +143,11 @@ func (c *Cache) Get(key string) (Entry, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
+		c.stats.Misses++
+		return Entry{}, false
+	}
+	if c.expired(el.Value.(*entry)) {
+		c.dropExpired(el)
 		c.stats.Misses++
 		return Entry{}, false
 	}
@@ -119,10 +165,15 @@ func (c *Cache) Get(key string) (Entry, bool) {
 func (c *Cache) GetOrFill(key string, fill func() ([]byte, error)) (e Entry, hit bool, err error) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
-		c.ll.MoveToFront(el)
-		c.stats.Hits++
-		c.mu.Unlock()
-		return el.Value.(*entry).val, true, nil
+		if c.expired(el.Value.(*entry)) {
+			c.dropExpired(el)
+			// Fall through to the fill path below.
+		} else {
+			c.ll.MoveToFront(el)
+			c.stats.Hits++
+			c.mu.Unlock()
+			return el.Value.(*entry).val, true, nil
+		}
 	}
 	if f, ok := c.inflight[key]; ok {
 		c.stats.Shared++
@@ -158,11 +209,13 @@ func (c *Cache) add(key string, val Entry) {
 	if el, ok := c.items[key]; ok {
 		// A racing fill for the same key landed first; keep the newer
 		// body (byte-identical by determinism) and fix accounting.
-		c.bytes += int64(len(val.Body)) - int64(len(el.Value.(*entry).val.Body))
-		el.Value.(*entry).val = val
+		ent := el.Value.(*entry)
+		c.bytes += int64(len(val.Body)) - int64(len(ent.val.Body))
+		ent.val = val
+		ent.filled = c.now()
 		c.ll.MoveToFront(el)
 	} else {
-		c.items[key] = c.ll.PushFront(&entry{key: key, val: val})
+		c.items[key] = c.ll.PushFront(&entry{key: key, val: val, filled: c.now()})
 		c.bytes += int64(len(val.Body))
 	}
 	for c.over() {

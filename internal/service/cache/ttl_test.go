@@ -1,0 +1,93 @@
+package cache
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock lets TTL tests move time without sleeping.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+
+func newTTLCache(ttl time.Duration) (*Cache, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c := New(0, 0, WithTTL(ttl))
+	c.now = clk.now
+	return c, clk
+}
+
+func fillConst(body string) func() ([]byte, error) {
+	return func() ([]byte, error) { return []byte(body), nil }
+}
+
+// TestTTLExpiresOnGet checks lazy expiry through both lookup paths:
+// an aged entry reads as a miss, is dropped, and a GetOrFill past the
+// deadline re-runs the fill.
+func TestTTLExpiresOnGet(t *testing.T) {
+	c, clk := newTTLCache(time.Minute)
+	if _, _, err := c.GetOrFill("k", fillConst("v1")); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(30 * time.Second)
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("entry expired before its TTL")
+	}
+	clk.advance(31 * time.Second)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("entry served past its TTL")
+	}
+	st := c.Stats()
+	if st.Expired != 1 || st.Entries != 0 {
+		t.Fatalf("stats after expiry: %+v, want 1 expired, 0 entries", st)
+	}
+
+	// A fill after expiry must actually run.
+	ran := false
+	entry, hit, err := c.GetOrFill("k", func() ([]byte, error) {
+		ran = true
+		return []byte("v2"), nil
+	})
+	if err != nil || hit || !ran {
+		t.Fatalf("refill after expiry: hit=%v ran=%v err=%v", hit, ran, err)
+	}
+	if string(entry.Body) != "v2" {
+		t.Fatalf("refill body %q", entry.Body)
+	}
+}
+
+// TestTTLRefillThroughGetOrFill ages an entry and checks GetOrFill
+// drops it inline (no Get in between) and books exactly one expiry.
+func TestTTLRefillThroughGetOrFill(t *testing.T) {
+	c, clk := newTTLCache(time.Minute)
+	if _, _, err := c.GetOrFill("k", fillConst("v1")); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(2 * time.Minute)
+	_, hit, err := c.GetOrFill("k", fillConst("v2"))
+	if err != nil || hit {
+		t.Fatalf("GetOrFill on expired entry: hit=%v err=%v", hit, err)
+	}
+	st := c.Stats()
+	if st.Expired != 1 || st.Misses != 2 || st.Entries != 1 {
+		t.Fatalf("stats %+v, want 1 expired / 2 misses / 1 entry", st)
+	}
+	// The refilled entry carries a fresh deadline.
+	clk.advance(30 * time.Second)
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("refilled entry expired against the old deadline")
+	}
+}
+
+// TestZeroTTLNeverExpires pins the default: entries outlive any age.
+func TestZeroTTLNeverExpires(t *testing.T) {
+	c, clk := newTTLCache(0)
+	if _, _, err := c.GetOrFill("k", fillConst("v")); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(10 * 365 * 24 * time.Hour)
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("entry expired with TTL disabled")
+	}
+}

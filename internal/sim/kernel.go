@@ -62,12 +62,25 @@ func (s slot) live() bool { return s.ev.armed && s.ev.seq == s.seq }
 type Event struct {
 	when Time
 	seq  uint64
-	fn   func()
+	// Exactly one of fn and w carries the callback: fn for closure
+	// events (At/After, NewTimer), w for Waker timers whose target is a
+	// preallocated struct rather than a fresh closure.
+	fn func()
+	w  Waker
 	// armed marks a pending registration; seq identifies it among any
 	// stale slots left behind by cancels and re-arms.
 	armed bool
 	// far records which tier holds the current registration.
 	far bool
+}
+
+// fire invokes the event's callback.
+func (e *Event) fire() {
+	if e.w != nil {
+		e.w.Fire()
+		return
+	}
+	e.fn()
 }
 
 // When reports the time the event is scheduled to fire.
@@ -336,8 +349,42 @@ func (k *Kernel) Step() bool {
 	}
 	k.now = s.when
 	k.fired++
-	s.ev.fn()
+	s.ev.fire()
 	return true
+}
+
+// Reset drains every pending registration and rewinds the kernel to
+// its just-constructed state — clock at zero, sequence counter at
+// zero, no pending or fired events — while keeping the queue's
+// allocated capacity (buckets, overflow heap) for reuse. Every armed
+// Event and Timer is disarmed in place, so existing Timers remain
+// usable and re-arm from a clean queue. Reset is the foundation of the
+// build-once / reset-many machine lifecycle; it must not be called
+// from inside a running event callback.
+func (k *Kernel) Reset() {
+	disarm := func(bucket []slot) {
+		for i := range bucket {
+			if s := bucket[i]; s.ev != nil && s.live() {
+				s.ev.armed = false
+			}
+		}
+	}
+	disarm(k.cur[k.curHead:])
+	clear(k.cur)
+	k.cur = k.cur[:0]
+	k.curHead = 0
+	for b := range k.wheel {
+		disarm(k.wheel[b])
+		clear(k.wheel[b])
+		k.wheel[b] = k.wheel[b][:0]
+	}
+	disarm(k.overflow)
+	clear(k.overflow)
+	k.overflow = k.overflow[:0]
+	k.now, k.seq, k.fired = 0, 0, 0
+	k.halted = false
+	k.wheelPos, k.wheelTime = 0, 0
+	k.liveNear, k.liveFar = 0, 0
 }
 
 // Run executes events until the queue drains or Halt is called.

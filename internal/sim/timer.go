@@ -18,6 +18,14 @@ type Timer struct {
 	ev Event
 }
 
+// Waker is a preallocated callback target. Components that would
+// otherwise build one closure per timer at construction time (the
+// ROADMAP's cold-path per-block closures) instead embed a small struct
+// implementing Fire and hand its address to Timer.Init: the interface
+// value points into the component itself, so binding the callback
+// allocates nothing beyond the component.
+type Waker interface{ Fire() }
+
 // NewTimer builds a timer on the kernel with fn as its permanent
 // callback. The timer starts disarmed.
 func (k *Kernel) NewTimer(fn func()) *Timer {
@@ -27,6 +35,21 @@ func (k *Kernel) NewTimer(fn func()) *Timer {
 	t := &Timer{k: k}
 	t.ev.fn = fn
 	return t
+}
+
+// Init prepares an embedded (value) Timer in place with w as its
+// permanent callback target: the allocation-free counterpart of
+// NewTimer for components that hold their timers by value.
+// Initialising an already-initialised timer is a programming error.
+func (t *Timer) Init(k *Kernel, w Waker) {
+	if w == nil {
+		panic("sim: Timer.Init requires a waker")
+	}
+	if t.k != nil {
+		panic("sim: Timer.Init on an initialised timer")
+	}
+	t.k = k
+	t.ev.w = w
 }
 
 // Armed reports whether a firing is pending.

@@ -73,6 +73,21 @@ type Config struct {
 // DefaultConfig is the Swallow operating point: 500 MHz at 1 V.
 func DefaultConfig() Config { return Config{FreqMHz: 500, VDD: 1.0} }
 
+// Validate checks the operating point against the silicon's envelope —
+// the same bounds construction enforces, shared with Retune so a
+// retuned machine accepts exactly the configs a fresh build would.
+// (VMin stability is the stricter run-time check of SetVoltage; DVFS
+// experiments construct below-VMin points deliberately.)
+func (cfg Config) Validate() error {
+	if cfg.FreqMHz < 1 || cfg.FreqMHz > energy.MaxCoreFreqMHz {
+		return fmt.Errorf("xs1: frequency %v MHz outside 1-500", cfg.FreqMHz)
+	}
+	if cfg.VDD < 0.5 || cfg.VDD > 1.2 {
+		return fmt.Errorf("xs1: VDD %v outside 0.5-1.2", cfg.VDD)
+	}
+	return nil
+}
+
 // Core simulates one XS1-L processor: eight hardware threads sharing a
 // four-stage pipeline and 64 KiB of single-cycle SRAM, attached to its
 // network switch.
@@ -89,11 +104,15 @@ type Core struct {
 	rr []int
 
 	// issueTimer drives the pipeline: armed once per issue attempt and
-	// re-armed forever, never reallocated.
-	issueTimer *sim.Timer
+	// re-armed forever, never reallocated. It and the twait timers are
+	// held by value and fire through the preallocated firer structs
+	// below, so building a core allocates no callback closures.
+	issueTimer sim.Timer
+	issueFire  issueFirer
 	// twaitTimers wake TWAIT-blocked threads, one preallocated per
 	// hardware thread (a thread blocks on at most one deadline).
-	twaitTimers [MaxThreads]*sim.Timer
+	twaitTimers [MaxThreads]sim.Timer
+	twaitFires  [MaxThreads]twaitFirer
 
 	// timerAlloc tracks GETR'd timers.
 	timerAlloc [MaxThreads]bool
@@ -119,13 +138,29 @@ type Core struct {
 	halted bool
 }
 
+// issueFirer and twaitFirer bind the core's timer roles to methods
+// without per-build closures (sim.Waker).
+type issueFirer struct{ c *Core }
+
+func (f *issueFirer) Fire() { f.c.issueStep() }
+
+// twaitFirer wakes one hardware thread from a TWAIT deadline.
+type twaitFirer struct {
+	c  *Core
+	id int
+}
+
+func (f *twaitFirer) Fire() {
+	th := &f.c.threads[f.id]
+	if th.State == TBlockedTime {
+		f.c.kickThread(th)
+	}
+}
+
 // NewCore builds a core bound to switch sw on kernel k.
 func NewCore(k *sim.Kernel, sw *noc.Switch, cfg Config) (*Core, error) {
-	if cfg.FreqMHz < 1 || cfg.FreqMHz > energy.MaxCoreFreqMHz {
-		return nil, fmt.Errorf("xs1: frequency %v MHz outside 1-500", cfg.FreqMHz)
-	}
-	if cfg.VDD < 0.5 || cfg.VDD > 1.2 {
-		return nil, fmt.Errorf("xs1: VDD %v outside 0.5-1.2", cfg.VDD)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	c := &Core{
 		k:    k,
@@ -135,18 +170,50 @@ func NewCore(k *sim.Kernel, sw *noc.Switch, cfg Config) (*Core, error) {
 		clk:  sim.NewClock(cfg.FreqMHz),
 		mem:  make([]byte, MemSize),
 	}
-	c.issueTimer = k.NewTimer(c.issueStep)
+	c.issueFire.c = c
+	c.issueTimer.Init(k, &c.issueFire)
 	for i := range c.threads {
 		c.threads[i].ID = i
-		th := &c.threads[i]
-		c.twaitTimers[i] = k.NewTimer(func() {
-			if th.State == TBlockedTime {
-				c.kickThread(th)
-			}
-		})
+		c.twaitFires[i] = twaitFirer{c: c, id: i}
+		c.twaitTimers[i].Init(k, &c.twaitFires[i])
 	}
 	c.accrualStart = k.Now()
 	return c, nil
+}
+
+// Reset returns the core to its just-built state — threads free, SRAM
+// zeroed, counters and energy accounting cleared — without touching
+// the operating point (Retune changes that). Callers reset the kernel
+// first (Machine.Reset does); Reset also disarms its own timers so it
+// is safe standalone on a live kernel.
+func (c *Core) Reset() {
+	c.issueTimer.Disarm()
+	c.resetThreads()
+	clear(c.mem)
+	c.timerAlloc = [MaxThreads]bool{}
+	c.accrualStart = c.k.Now()
+	c.accruedJ, c.dynamicJ = 0, 0
+	c.InstrCount = 0
+	c.ClassCounts = [energy.NumInstrClasses]uint64{}
+	c.IdleSlots = 0
+	c.LastIssue = 0
+	c.DebugTrace, c.Console = nil, nil
+	c.halted = false
+}
+
+// Retune moves the core to a new operating point (clock and supply) in
+// one step, banking energy accrued at the old point first. Unlike
+// SetVoltage it applies construction's envelope checks only, so a
+// reset-and-retuned core accepts exactly the configs a fresh build
+// would.
+func (c *Core) Retune(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	c.bankEnergy()
+	c.cfg = cfg
+	c.clk = sim.NewClock(cfg.FreqMHz)
+	return nil
 }
 
 // Node reports the core's position.

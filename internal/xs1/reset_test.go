@@ -1,0 +1,105 @@
+package xs1
+
+import (
+	"testing"
+
+	"swallow/internal/sim"
+	"swallow/internal/topo"
+)
+
+// resetProg exercises compute, TWAIT and debug traffic so a reset has
+// real state to scrub.
+const resetProg = `
+	ldc  r0, 40
+	ldc  r1, 0
+loop:
+	add  r1, r1, r0
+	subi r0, r0, 1
+	brt  r0, loop
+	dbg  r1
+	tend
+`
+
+// TestCoreResetMatchesFresh runs a program, resets kernel and core,
+// runs it again, and checks every observable (trace, counters, energy,
+// finish time) matches a fresh build — the reset-equals-rebuild
+// contract the machine pool depends on.
+func TestCoreResetMatchesFresh(t *testing.T) {
+	node := topo.MakeNodeID(0, 0, topo.LayerV)
+
+	type snapshot struct {
+		trace   []uint32
+		instrs  uint64
+		energyJ float64
+		last    sim.Time
+	}
+	measure := func(r *rig, c *Core) snapshot {
+		if err := c.Load(MustAssemble(resetProg)); err != nil {
+			t.Fatal(err)
+		}
+		r.run(t, 10*sim.Microsecond, c)
+		return snapshot{
+			trace:   append([]uint32(nil), c.DebugTrace...),
+			instrs:  c.InstrCount,
+			energyJ: c.EnergyJ(),
+			last:    c.LastIssue,
+		}
+	}
+
+	fresh := newRig(t)
+	fc, err := NewCore(fresh.k, fresh.net.Switch(node), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := measure(fresh, fc)
+
+	reused := newRig(t)
+	rc, err := NewCore(reused.k, reused.net.Switch(node), Config{FreqMHz: 125, VDD: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dirty the core with a different operating point and run, then
+	// reset the whole stack and retune to the reference point.
+	measure(reused, rc)
+	reused.k.Reset()
+	reused.net.Reset()
+	rc.Reset()
+	if err := rc.Retune(DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	got := measure(reused, rc)
+
+	if len(got.trace) != len(want.trace) || len(want.trace) != 1 || got.trace[0] != want.trace[0] {
+		t.Fatalf("trace %v, want %v", got.trace, want.trace)
+	}
+	if got.instrs != want.instrs {
+		t.Fatalf("instrs %d, want %d", got.instrs, want.instrs)
+	}
+	if got.energyJ != want.energyJ {
+		t.Fatalf("energy %g, want %g", got.energyJ, want.energyJ)
+	}
+	if got.last != want.last {
+		t.Fatalf("last issue %v, want %v", got.last, want.last)
+	}
+}
+
+// TestCoreRetuneValidates pins Retune to construction's envelope.
+func TestCoreRetuneValidates(t *testing.T) {
+	r := newRig(t)
+	c, err := NewCore(r.k, r.net.Switch(topo.MakeNodeID(0, 0, topo.LayerV)), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Retune(Config{FreqMHz: 900, VDD: 1.0}); err == nil {
+		t.Fatal("over-frequency retune accepted")
+	}
+	if err := c.Retune(Config{FreqMHz: 250, VDD: 0.2}); err == nil {
+		t.Fatal("under-voltage retune accepted")
+	}
+	if err := c.Retune(Config{FreqMHz: 250, VDD: 0.8}); err != nil {
+		t.Fatalf("valid retune rejected: %v", err)
+	}
+	if got := c.Config(); got.FreqMHz != 250 || got.VDD != 0.8 {
+		t.Fatalf("config after retune = %+v", got)
+	}
+}
