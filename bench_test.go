@@ -15,6 +15,7 @@
 package swallow
 
 import (
+	"encoding/json"
 	"testing"
 
 	"swallow/internal/core"
@@ -22,6 +23,7 @@ import (
 	"swallow/internal/harness"
 	"swallow/internal/harness/sweep"
 	"swallow/internal/metrics"
+	"swallow/internal/scenario"
 	"swallow/internal/sim"
 	"swallow/internal/topo"
 	"swallow/internal/workload"
@@ -124,6 +126,28 @@ func BenchmarkMachinePool(b *testing.B) {
 			pool.Put(m)
 		}
 	})
+}
+
+// BenchmarkScenarioCompile times the declarative layer's fixed
+// overhead: parsing a canonical spec from JSON, validating it,
+// deriving its content hash and lowering it to an artifact — the
+// per-submission cost POST /scenarios pays before any simulation.
+func BenchmarkScenarioCompile(b *testing.B) {
+	spec := experiments.GoodputScenario()
+	blob, err := json.Marshal(spec.Canonical())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s, err := scenario.Parse(blob)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := scenario.Compile(s); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkEq2Analytic exercises the pure Eq. 2 law (no simulation) as

@@ -12,14 +12,20 @@
 //
 //	swallow-load [-url http://localhost:8080] [-c 4] [-n 100 | -d 10s]
 //	             [-rate R] [-artifacts regexp] [-quick] [-json]
+//	             [-scenario spec.json[,spec2.json...]]
 //
 // The artifact mix is discovered from GET /artifacts, filtered by
-// -artifacts, and cycled round-robin so runs are reproducible. Every
-// response is checked (status 200, non-empty body) and X-Cache headers
-// are tallied, so the report also shows the server's hit ratio.
+// -artifacts, and cycled round-robin so runs are reproducible.
+// -scenario adds declarative spec files to the mix as POST /scenarios
+// submissions — the ReqBench-style novel-configuration stress: every
+// round fires the same spec, so the first submission simulates and
+// the rest exercise the spec-hash cache path. Every response is
+// checked (status 200, non-empty body) and X-Cache headers are
+// tallied, so the report also shows the server's hit ratio.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -27,17 +33,21 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"path/filepath"
 	"regexp"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
-// target is one artifact endpoint in the request mix.
+// target is one endpoint in the request mix: a GET of an artifact URL
+// or, when body is non-nil, a POST /scenarios submission.
 type target struct {
 	Name string `json:"name"`
 	URL  string `json:"url"`
+	Body []byte `json:"-"`
 }
 
 // sample is one completed request.
@@ -73,6 +83,7 @@ func main() {
 	dur := flag.Duration("d", 0, "run duration (0: until -n requests)")
 	rate := flag.Float64("rate", 0, "open-loop arrivals per second (0: closed loop)")
 	only := flag.String("artifacts", "", "regexp selecting the artifact mix (default: all)")
+	scenarios := flag.String("scenario", "", "comma-separated scenario spec files to POST as part of the mix")
 	quick := flag.Bool("quick", false, "request quick (less settled) renders")
 	asJSON := flag.Bool("json", false, "emit the report as JSON")
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-request timeout")
@@ -104,6 +115,13 @@ func main() {
 		if *quick {
 			mix[i].URL += "?quick=1"
 		}
+	}
+	if *scenarios != "" {
+		specs, err := loadScenarios(*baseURL, *scenarios, *quick)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mix = append(mix, specs...)
 	}
 
 	start := time.Now()
@@ -157,10 +175,39 @@ func discover(client *http.Client, base, pattern string) ([]target, error) {
 	return mix, nil
 }
 
-// fetch issues one request and measures it.
+// loadScenarios reads spec files into POST /scenarios mix targets.
+func loadScenarios(base, paths string, quick bool) ([]target, error) {
+	var out []target
+	for _, path := range strings.Split(paths, ",") {
+		path = strings.TrimSpace(path)
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		url := base + "/scenarios"
+		if quick {
+			url += "?quick=1"
+		}
+		out = append(out, target{
+			Name: "scenario:" + strings.TrimSuffix(filepath.Base(path), ".json"),
+			URL:  url,
+			Body: blob,
+		})
+	}
+	return out, nil
+}
+
+// fetch issues one request (GET, or POST for scenario targets) and
+// measures it.
 func fetch(client *http.Client, t target) sample {
 	start := time.Now()
-	resp, err := client.Get(t.URL)
+	var resp *http.Response
+	var err error
+	if t.Body != nil {
+		resp, err = client.Post(t.URL, "application/json", bytes.NewReader(t.Body))
+	} else {
+		resp, err = client.Get(t.URL)
+	}
 	if err != nil {
 		return sample{latency: time.Since(start), err: err}
 	}

@@ -6,10 +6,18 @@
 // answers 429 + Retry-After under saturation. See internal/service/api
 // for the endpoint set.
 //
+// Beyond the registry, POST /scenarios compiles and runs declarative
+// scenario specs (internal/scenario) with the same caching and
+// singleflight guarantees, keyed on the spec's content hash. The job
+// queue round-robins across job classes so submitted scenarios cannot
+// starve artifact renders, and -pool-max-mb bounds the idle machine
+// pool so one scenario on a big grid cannot park tens of megabytes of
+// simulated SRAM for the process lifetime.
+//
 // Usage:
 //
 //	swallow-serve [-addr :8080] [-quick] [-par N] [-pool=false]
-//	              [-workers N] [-queue N]
+//	              [-pool-max-mb N] [-workers N] [-queue N]
 //	              [-cache-mb N] [-cache-entries N] [-cache-ttl D]
 //
 // SIGINT/SIGTERM shut down gracefully: the listener stops accepting,
@@ -29,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"swallow/internal/core"
 	"swallow/internal/experiments" // registers the artifacts; pooling toggle
 	"swallow/internal/harness"
 	"swallow/internal/harness/sweep"
@@ -47,6 +56,7 @@ func main() {
 	cacheEntries := flag.Int("cache-entries", 256, "result cache bound, entries")
 	cacheTTL := flag.Duration("cache-ttl", 0, "result cache entry lifetime (0 = never expire)")
 	pool := flag.Bool("pool", true, "reuse machines across sweep points (output is identical either way)")
+	poolMaxMB := flag.Int64("pool-max-mb", 256, "idle machine pool byte budget, MiB (0 = unbounded); submitted scenarios on big grids cannot park memory past it")
 	drain := flag.Duration("drain", time.Minute, "graceful shutdown budget for in-flight requests")
 	flag.Parse()
 
@@ -55,6 +65,7 @@ func main() {
 	}
 	sweep.SetConcurrency(*par)
 	experiments.SetPooling(*pool)
+	core.SharedPool().SetLimit(0, *poolMaxMB<<20)
 
 	opts := api.Options{
 		CacheBytes:    *cacheMB << 20,

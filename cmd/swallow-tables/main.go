@@ -11,10 +11,17 @@
 // identical to fresh builds, so every combination of flags renders
 // byte-identical output; only wall clock changes.
 //
+// -scenario compiles one or more declarative scenario spec files
+// (comma-separated JSON, see internal/scenario) and renders them
+// instead of the registry: the same compiler, sweep engine and machine
+// pool the canonical artifacts run through, so a spec file whose
+// content matches a canonical artifact renders byte-identical to it.
+//
 // Usage:
 //
 //	swallow-tables [-quick] [-only regexp] [-list] [-json]
 //	               [-par N | -seq] [-pool=false]
+//	               [-scenario spec.json[,spec2.json...]]
 package main
 
 import (
@@ -25,11 +32,13 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"strings"
 	"time"
 
 	"swallow/internal/experiments" // registers the artifacts; pooling toggle
 	"swallow/internal/harness"
 	"swallow/internal/harness/sweep"
+	"swallow/internal/scenario"
 )
 
 // jsonRecord is the -json per-artifact output schema, the shape CI
@@ -52,6 +61,7 @@ func main() {
 	par := flag.Int("par", runtime.GOMAXPROCS(0), "max goroutines per sweep (output is identical at any setting)")
 	seq := flag.Bool("seq", false, "run sweeps serially (same as -par 1)")
 	pool := flag.Bool("pool", true, "reuse machines across sweep points (output is identical either way)")
+	scenarios := flag.String("scenario", "", "comma-separated scenario spec files to compile and render instead of the registry")
 	flag.Parse()
 	experiments.SetPooling(*pool)
 
@@ -93,9 +103,30 @@ func main() {
 		}
 	}
 
+	arts := harness.Artifacts()
+	if *scenarios != "" {
+		arts = nil
+		for _, path := range strings.Split(*scenarios, ",") {
+			path = strings.TrimSpace(path)
+			blob, err := os.ReadFile(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			spec, err := scenario.Parse(blob)
+			if err != nil {
+				log.Fatalf("%s: %v", path, err)
+			}
+			c, err := scenario.Compile(spec)
+			if err != nil {
+				log.Fatalf("%s: %v", path, err)
+			}
+			arts = append(arts, c.Artifact)
+		}
+	}
+
 	matched := false
 	var records []jsonRecord
-	for _, a := range harness.Artifacts() {
+	for _, a := range arts {
 		if filter != nil && !filter.MatchString(a.Name) {
 			continue
 		}

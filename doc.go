@@ -18,6 +18,7 @@
 //	internal/workload     host-driven flows and benchmark programs
 //	internal/experiments  regenerates every table and figure of the paper
 //	internal/harness      artifact registry + parallel sweep engine
+//	internal/scenario     declarative scenario specs compiled to artifacts
 //	internal/service      serving layer: result cache, job queue, HTTP API
 //
 // Each experiment registers once with the harness registry (a name, a
@@ -27,16 +28,32 @@
 // (each with its own kernel and machine) across goroutines without
 // changing a byte of output.
 //
+// # Scenarios
+//
+// internal/scenario turns the experiment surface from a closed set
+// into an open one: a JSON Spec declares a grid, a workload structure
+// (traffic flows, ping probes, pipelines, rings, farms, barrier
+// groups), a placement (explicit nodes or a topo policy), an
+// operating point and one or more sweep axes, and Compile lowers it
+// into a harness.Artifact running one pooled machine per point under
+// sweep.Map. Specs have a canonical form and content hash; the
+// canonical latency/goodput/ec/ablation artifacts are themselves
+// compiled specs, held byte-identical to the hand-written reference
+// runners by TestScenarioMatchesHandWritten. swallow-tables -scenario
+// renders spec files locally; POST /scenarios serves submissions with
+// result caching under the spec hash.
+//
 // # Serving
 //
 // internal/service exposes the registry over HTTP (cmd/swallow-serve):
 // service/cache is a content-addressed LRU result cache keyed by the
 // canonical (artifact, Config) hash with singleflight deduplication —
 // determinism makes cache hits byte-identical to cold runs — and
-// service/queue is a bounded job queue with worker pool, 429
-// backpressure and graceful drain; service/api ties both behind the
-// JSON endpoints. cmd/swallow-load is the matching open/closed-loop
-// load generator reporting throughput and p50/p95/p99 latency.
+// service/queue is a bounded job queue with worker pool, per-class
+// round-robin fairness, 429 backpressure and graceful drain;
+// service/api ties both behind the JSON endpoints. cmd/swallow-load is
+// the matching open/closed-loop load generator reporting throughput
+// and p50/p95/p99 latency, able to mix scenario POSTs into the load.
 //
 // # Machine lifecycle
 //

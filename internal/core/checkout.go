@@ -1,0 +1,49 @@
+package core
+
+import "sync/atomic"
+
+// The process-wide machine pool. Experiment inner loops and compiled
+// scenario runners both check machines out of this one pool, so a
+// sweep point costs a Reset + Retune instead of a build wherever it
+// runs from — the CLI, the benchmark harness, or the HTTP service.
+//
+// Checkout is a pure wall-clock/allocation optimisation: a pooled
+// checkout is observationally identical to New, so every caller
+// renders byte-identical output with pooling on or off (held by
+// TestPooledMatchesFreshGolden over the full registry).
+var (
+	sharedPool = NewPool()
+	// poolingOff inverts the sense so the zero value means "pooling
+	// on", the default.
+	poolingOff atomic.Bool
+)
+
+// SharedPool returns the process-wide pool Checkout draws from, for
+// drivers that tune its limits (SetLimit) or report its Stats.
+func SharedPool() *Pool { return sharedPool }
+
+// SetPooling toggles machine reuse for Checkout. Output is identical
+// either way; off rebuilds every checkout from scratch.
+func SetPooling(on bool) { poolingOff.Store(!on) }
+
+// PoolingEnabled reports whether Checkout reuses pooled machines.
+func PoolingEnabled() bool { return !poolingOff.Load() }
+
+// Checkout hands back a machine of the given shape plus a release
+// function that returns it for reuse. With pooling disabled it
+// degrades to New and a no-op release. Safe for concurrent sweep
+// workers; each caller owns its machine until release.
+func Checkout(slicesX, slicesY int, opts Options) (*Machine, func(), error) {
+	if poolingOff.Load() {
+		m, err := New(slicesX, slicesY, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		return m, func() {}, nil
+	}
+	m, err := sharedPool.Get(slicesX, slicesY, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, func() { sharedPool.Put(m) }, nil
+}

@@ -402,6 +402,15 @@ func (m *Machine) SetAllFrequencies(fMHz float64) error {
 	return nil
 }
 
+// Footprint estimates the machine's resident size for pool byte
+// budgeting: the dominant term is per-core simulated SRAM, padded for
+// the switch, channel-end and thread structures around each core. It
+// is a budgeting estimate, not an exact heap measurement.
+func (m *Machine) Footprint() int64 {
+	const perCoreOverhead = 16 << 10
+	return int64(len(m.nodes)) * int64(xs1.MemSize+perCoreOverhead)
+}
+
 // Slices reports the board count.
 func (m *Machine) Slices() int { return m.Sys.Slices() }
 

@@ -17,9 +17,15 @@ import "sync"
 // after. Pool is safe for concurrent use (sweep workers check out in
 // parallel); each checked-out machine belongs to exactly one caller.
 type Pool struct {
-	mu    sync.Mutex
-	idle  map[shape][]*Machine
-	stats PoolStats
+	mu   sync.Mutex
+	idle map[shape][]*Machine
+	// fifo orders every idle machine oldest-return first, across
+	// shapes, so byte-budget eviction has a deterministic victim.
+	fifo      []*Machine
+	perShape  int
+	maxBytes  int64
+	idleBytes int64
+	stats     PoolStats
 }
 
 // PoolStats counts pool traffic: Reuses is the builds avoided.
@@ -30,13 +36,33 @@ type PoolStats struct {
 	Reuses int64
 	// Returns counts Puts.
 	Returns int64
+	// Evictions counts idle machines released by SetLimit bounds.
+	Evictions int64
 	// Idle is the machines currently parked, across all shapes.
 	Idle int
+	// IdleBytes is the estimated footprint of the parked machines.
+	IdleBytes int64
 }
 
-// NewPool builds an empty pool.
+// NewPool builds an empty pool with no idle bounds.
 func NewPool() *Pool {
 	return &Pool{idle: make(map[shape][]*Machine)}
+}
+
+// SetLimit bounds the idle side of the pool: perShape caps parked
+// machines per structural shape and maxBytes caps the estimated total
+// idle footprint (Machine.Footprint) across shapes. Zero or negative
+// means unbounded in that dimension (the default). When a Put pushes
+// the pool over either bound, the oldest-returned idle machines are
+// released for the GC — one render on a large grid can no longer park
+// tens of megabytes of simulated SRAM in a long-lived server forever.
+// Checked-out machines are never touched.
+func (p *Pool) SetLimit(perShape int, maxBytes int64) {
+	p.mu.Lock()
+	p.perShape = perShape
+	p.maxBytes = maxBytes
+	p.enforce()
+	p.mu.Unlock()
 }
 
 // Get checks out a machine equivalent to New(slicesX, slicesY, opts):
@@ -57,6 +83,7 @@ func (p *Pool) Get(slicesX, slicesY int, opts Options) (*Machine, error) {
 		m = list[len(list)-1]
 		list[len(list)-1] = nil
 		p.idle[key] = list[:len(list)-1]
+		p.unfile(m)
 		p.stats.Reuses++
 	} else {
 		p.stats.Builds++
@@ -84,8 +111,60 @@ func (p *Pool) Put(m *Machine) {
 	m.Reset()
 	p.mu.Lock()
 	p.idle[m.shape] = append(p.idle[m.shape], m)
+	p.fifo = append(p.fifo, m)
+	p.idleBytes += m.Footprint()
 	p.stats.Returns++
+	p.enforce()
 	p.mu.Unlock()
+}
+
+// unfile removes a no-longer-idle machine from the eviction FIFO and
+// the byte accounting. Caller holds mu.
+func (p *Pool) unfile(m *Machine) {
+	for i, f := range p.fifo {
+		if f == m {
+			p.fifo = append(p.fifo[:i], p.fifo[i+1:]...)
+			break
+		}
+	}
+	p.idleBytes -= m.Footprint()
+}
+
+// enforce evicts oldest-returned idle machines until both idle bounds
+// hold. Caller holds mu.
+func (p *Pool) enforce() {
+	over := func() bool {
+		if p.perShape > 0 {
+			for _, list := range p.idle {
+				if len(list) > p.perShape {
+					return true
+				}
+			}
+		}
+		return p.maxBytes > 0 && p.idleBytes > p.maxBytes
+	}
+	for over() && len(p.fifo) > 0 {
+		victim := p.fifo[0]
+		// Per-shape overflow evicts that shape's oldest, not the global
+		// oldest, so a hot small shape cannot be purged by a cold big one.
+		if p.maxBytes <= 0 || p.idleBytes <= p.maxBytes {
+			for _, f := range p.fifo {
+				if len(p.idle[f.shape]) > p.perShape {
+					victim = f
+					break
+				}
+			}
+		}
+		list := p.idle[victim.shape]
+		for i, idle := range list {
+			if idle == victim {
+				p.idle[victim.shape] = append(list[:i], list[i+1:]...)
+				break
+			}
+		}
+		p.unfile(victim)
+		p.stats.Evictions++
+	}
 }
 
 // Stats snapshots the pool counters.
@@ -96,6 +175,7 @@ func (p *Pool) Stats() PoolStats {
 	for _, list := range p.idle {
 		s.Idle += len(list)
 	}
+	s.IdleBytes = p.idleBytes
 	return s
 }
 
@@ -104,5 +184,7 @@ func (p *Pool) Stats() PoolStats {
 func (p *Pool) Drain() {
 	p.mu.Lock()
 	p.idle = make(map[shape][]*Machine)
+	p.fifo = nil
+	p.idleBytes = 0
 	p.mu.Unlock()
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"swallow/internal/harness"
+	"swallow/internal/scenario"
 )
 
 // TestLatencyPlacementOverride covers the Config sweep-grid plumbing:
@@ -22,8 +23,8 @@ func TestLatencyPlacementOverride(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows := res.([]LatencyRow)
-	if len(rows) != 1 || rows[0].Name != names[0] {
+	rows := res.(*scenario.Result).Points
+	if len(rows) != 1 || rows[0].Label != names[0] {
 		t.Fatalf("filtered rows = %+v", rows)
 	}
 	// Order is canonical regardless of request order.
@@ -31,9 +32,14 @@ func TestLatencyPlacementOverride(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rows = res.([]LatencyRow)
-	if len(rows) != 2 || rows[0].Name != names[0] || rows[1].Name != names[1] {
+	rows = res.(*scenario.Result).Points
+	if len(rows) != 2 || rows[0].Label != names[0] || rows[1].Label != names[1] {
 		t.Fatalf("reordered request must render canonically: %+v", rows)
+	}
+	// The compiled artifact keeps the unknown-name contract of the
+	// hand-written runner: a 400-class error, not a silent skip.
+	if _, err := a.Run(harness.Config{LatencyPlacements: []string{"nowhere"}}); err == nil {
+		t.Fatal("unknown placement accepted by compiled scenario")
 	}
 }
 
@@ -46,8 +52,8 @@ func TestGoodputGridOverride(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	points := res.([]GoodputPoint)
-	if len(points) != 1 || points[0].PayloadBytes != 4 {
+	points := res.(*scenario.Result).Points
+	if len(points) != 1 || points[0].Payload != 4 {
 		t.Fatalf("override grid rendered %+v", points)
 	}
 }

@@ -12,7 +12,6 @@ import (
 	"swallow/internal/sim"
 	"swallow/internal/topo"
 	"swallow/internal/workload"
-	"swallow/internal/xs1"
 )
 
 // LatencyRow is one placement of the Section V-C latency experiments.
@@ -165,50 +164,11 @@ func coreLocalWordLatency() (sim.Time, error) {
 	defer release()
 	node := topo.MakeNodeID(0, 0, topo.LayerV)
 	// Thread 0 ping-pongs with a sibling thread through two channel
-	// ends on the same core; the main thread wires both directions
-	// before starting the peer.
-	prog := fmt.Sprintf(`
-		getr r0, 2        ; chanend 0 (main)
-		getr r1, 2        ; chanend 1 (peer)
-		ldc  r2, %d
-		setd r0, r2       ; main -> peer
-		ldc  r2, %d
-		setd r1, r2       ; peer -> main
-		getst r3, peer
-		tsetr r3, 0, r1   ; peer's channel end
-		ldc  r4, 0x8000
-		tsetr r3, 12, r4
-		tstart r3
-		ldc  r5, 33       ; rounds
-	pingloop:
-		time r6
-		out  r0, r6
-		in   r0, r7
-		time r8
-		sub  r8, r8, r6
-		dbg  r8
-		subi r5, r5, 1
-		brt  r5, pingloop
-		outct r0, ct_end
-		tjoin r3
-		tend
-	peer:
-		ldc  r5, 33
-	echo:
-		in   r0, r2
-		out  r0, r2
-		subi r5, r5, 1
-		brt  r5, echo
-		chkct r0, ct_end
-		outct r0, ct_end
-		tend
-	`,
-		uint32(noc.MakeChanEndID(uint16(node), 1)),
-		uint32(noc.MakeChanEndID(uint16(node), 0)))
-	p, err := xs1.Assemble(prog)
-	if err != nil {
-		return 0, err
-	}
+	// ends on the same core (workload.LocalPingPong wires both
+	// directions before starting the peer).
+	p := workload.LocalPingPong(
+		noc.MakeChanEndID(uint16(node), 0),
+		noc.MakeChanEndID(uint16(node), 1), 33)
 	if err := m.Load(node, p); err != nil {
 		return 0, err
 	}

@@ -1,17 +1,17 @@
 package experiments
 
 import (
-	"sync/atomic"
-
 	"swallow/internal/core"
 )
 
 // The experiment inner loops churn through (kernel, machine) pairs:
 // every sweep point owns its own simulation. With the build-once /
-// reset-many lifecycle the package keeps one shared machine pool and
-// every point checks a machine out, runs, and returns it; points that
+// reset-many lifecycle every point checks a machine out of the
+// process-wide pool (core.Checkout), runs, and returns it; points that
 // differ only in operating point (frequency sweeps, DVFS, link-rate
-// experiments) reuse one build through Reset + Retune.
+// experiments) reuse one build through Reset + Retune. Compiled
+// scenario runners (internal/scenario) draw from the same pool, so
+// hand-written and compiled sweeps amortise each other's builds.
 //
 // Pooling is a pure wall-clock/allocation optimisation: a pooled
 // checkout is observationally identical to core.New, so every artifact
@@ -19,41 +19,21 @@ import (
 // TestPooledMatchesFreshGolden). SetPooling(false) — the drivers'
 // -pool=false — forces the fresh-build path for A/B measurement.
 
-var (
-	machinePool = core.NewPool()
-	// poolingOff inverts the sense so the zero value means "pooling on",
-	// the default.
-	poolingOff atomic.Bool
-)
-
 // SetPooling toggles machine reuse across experiment runs. Output is
 // identical either way; off rebuilds every sweep point from scratch.
-func SetPooling(on bool) { poolingOff.Store(!on) }
+func SetPooling(on bool) { core.SetPooling(on) }
 
 // Pooling reports whether checkouts reuse pooled machines.
-func Pooling() bool { return !poolingOff.Load() }
+func Pooling() bool { return core.PoolingEnabled() }
 
 // PoolStats snapshots the shared pool's traffic counters.
-func PoolStats() core.PoolStats { return machinePool.Stats() }
+func PoolStats() core.PoolStats { return core.SharedPool().Stats() }
 
 // DrainPool releases every idle pooled machine.
-func DrainPool() { machinePool.Drain() }
+func DrainPool() { core.SharedPool().Drain() }
 
 // checkout hands back a machine of the given shape plus a release
-// function that returns it for reuse. With pooling disabled it
-// degrades to core.New and a no-op release. Safe for concurrent sweep
-// workers; each caller owns its machine until release.
+// function that returns it for reuse; see core.Checkout.
 func checkout(slicesX, slicesY int, opts core.Options) (*core.Machine, func(), error) {
-	if poolingOff.Load() {
-		m, err := core.New(slicesX, slicesY, opts)
-		if err != nil {
-			return nil, nil, err
-		}
-		return m, func() {}, nil
-	}
-	m, err := machinePool.Get(slicesX, slicesY, opts)
-	if err != nil {
-		return nil, nil, err
-	}
-	return m, func() { machinePool.Put(m) }, nil
+	return core.Checkout(slicesX, slicesY, opts)
 }

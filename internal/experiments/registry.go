@@ -117,57 +117,13 @@ func init() {
 			return m
 		},
 	})
-	harness.Register(harness.Spec[[]LatencyRow]{
-		Name:        "latency",
-		Description: "Sec. V-C: core-to-core word latency by placement",
-		Uses:        harness.UsesLatencyPlacements,
-		Run: func(cfg harness.Config) ([]LatencyRow, error) {
-			return LatenciesFor(cfg.LatencyPlacements)
-		},
-		Render: RenderLatencies,
-		Metrics: func(rows []LatencyRow) map[string]float64 {
-			m := make(map[string]float64)
-			for _, r := range rows {
-				m[harness.MetricName(r.Name, "ns")] = r.MeasuredNS
-			}
-			return m
-		},
-	})
-	harness.Register(harness.Spec[[]GoodputPoint]{
-		Name:        "goodput",
-		Description: "Sec. V-B: packetised goodput fraction across payload sizes",
-		Uses:        harness.UsesGoodputPayloads,
-		Run: func(cfg harness.Config) ([]GoodputPoint, error) {
-			payloads := goodputPayloads
-			if len(cfg.GoodputPayloads) > 0 {
-				payloads = cfg.GoodputPayloads
-			}
-			return GoodputSweep(payloads)
-		},
-		Render: RenderGoodput,
-		Metrics: func(points []GoodputPoint) map[string]float64 {
-			m := make(map[string]float64)
-			for _, p := range points {
-				if p.PayloadBytes == 28 {
-					m["goodput_28B_%"] = p.Fraction * 100
-				}
-			}
-			return m
-		},
-	})
-	harness.Register(harness.Spec[[]ECRow]{
-		Name:        "ec",
-		Description: "Sec. V-D: execution/communication ratios per traffic regime",
-		Run:         func(harness.Config) ([]ECRow, error) { return ECRatios() },
-		Render:      RenderEC,
-		Metrics: func(rows []ECRow) map[string]float64 {
-			last := rows[len(rows)-1]
-			return map[string]float64{
-				"bisection_EC":     last.MeasuredEC,
-				"bisection_Mbit/s": last.MeasuredCBps / 1e6,
-			}
-		},
-	})
+	// latency, goodput and ec are compiled scenario specs (see
+	// scenarios.go): the declarative layer regenerates them
+	// byte-identically, proving the compiler against the hand-written
+	// reference runners that remain in this package.
+	registerLatencyScenario()
+	registerGoodputScenario()
+	registerECScenario()
 	registerSurveyEC()
 	harness.Register(harness.Spec[[]PlacementEnergyResult]{
 		Name:        "placement",
@@ -197,32 +153,9 @@ func init() {
 			return m
 		},
 	})
-	harness.Register(harness.Spec[map[int]float64]{
-		Name:        "ablation-links",
-		Description: "Ablation: aggregate goodput vs enabled internal link count",
-		Run:         func(harness.Config) (map[int]float64, error) { return AblationLinks() },
-		Render:      RenderAblationLinks,
-		Metrics: func(res map[int]float64) map[string]float64 {
-			m := make(map[string]float64)
-			for links := 1; links <= 4; links++ {
-				m[fmt.Sprintf("links%d_Mbit/s", links)] = res[links] / 1e6
-			}
-			return m
-		},
-	})
-	harness.Register(harness.Spec[map[string]float64]{
-		Name:        "ablation-placement",
-		Description: "Ablation: stream goodput across source/destination placements",
-		Run:         func(harness.Config) (map[string]float64, error) { return AblationPlacement() },
-		Render:      RenderAblationPlacement,
-		Metrics: func(res map[string]float64) map[string]float64 {
-			m := make(map[string]float64)
-			for _, p := range streamPlacements {
-				m[harness.MetricName(p.name, "Mbit/s")] = res[p.name] / 1e6
-			}
-			return m
-		},
-	})
+	// Both ablations are compiled scenario specs too (scenarios.go).
+	registerAblationLinksScenario()
+	registerAblationPlacementScenario()
 	harness.Register(harness.Spec[float64]{
 		Name:        "bridge",
 		Description: "Ethernet bridge: sustained off-system transfer rate",

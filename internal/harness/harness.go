@@ -175,11 +175,8 @@ var registry []*Artifact
 // order is the canonical listing order. Duplicate or empty names and
 // missing hooks are programming errors and panic.
 func Register[R any](s Spec[R]) {
-	if s.Name == "" || s.Run == nil || s.Render == nil {
+	if s.Run == nil || s.Render == nil {
 		panic(fmt.Sprintf("harness: artifact %q incompletely specified", s.Name))
-	}
-	if Lookup(s.Name) != nil {
-		panic(fmt.Sprintf("harness: artifact %q registered twice", s.Name))
 	}
 	a := &Artifact{
 		Name:        s.Name,
@@ -190,6 +187,19 @@ func Register[R any](s Spec[R]) {
 	}
 	if s.Metrics != nil {
 		a.Metrics = func(res any) map[string]float64 { return s.Metrics(res.(R)) }
+	}
+	RegisterArtifact(a)
+}
+
+// RegisterArtifact files an already-assembled artifact, for layers
+// (like the scenario compiler) that build *Artifact values directly.
+// Same invariants and panics as Register.
+func RegisterArtifact(a *Artifact) {
+	if a.Name == "" || a.Run == nil || a.Render == nil {
+		panic(fmt.Sprintf("harness: artifact %q incompletely specified", a.Name))
+	}
+	if Lookup(a.Name) != nil {
+		panic(fmt.Sprintf("harness: artifact %q registered twice", a.Name))
 	}
 	registry = append(registry, a)
 }

@@ -7,6 +7,7 @@
 //
 //	GET  /artifacts         registered artifact index (name, description)
 //	GET  /artifacts/{name}  synchronous render, cache-aware, ETag'd
+//	POST /scenarios         compile + run a submitted scenario spec
 //	POST /jobs              async render submission (429 when saturated)
 //	GET  /jobs/{id}         job status / result polling
 //	GET  /healthz           liveness probe
@@ -18,22 +19,39 @@
 // burst of identical requests costs one simulation); POST /jobs puts
 // the work on the worker pool instead and reports backpressure as
 // 429 + Retry-After when the queue is full.
+//
+// POST /scenarios opens the experiment surface beyond the registry:
+// the body is a declarative internal/scenario spec (workload structure
+// x placement x operating point x sweep axes), compiled and validated
+// server-side — malformed specs are 400s with a field-level message —
+// and cached under the spec's canonical content hash with the same
+// singleflight and ETag discipline as named artifacts, so resubmitting
+// an equivalent spec (however spelled) is a cache hit. POST /jobs
+// accepts a "scenario" field as the async variant; submitted scenarios
+// are their own job class, so the queue's per-class round-robin keeps
+// a heavy scenario from starving cheap artifact jobs.
 package api
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
 	"time"
 
+	"swallow/internal/core"
 	"swallow/internal/harness"
+	"swallow/internal/scenario"
 	"swallow/internal/service/cache"
 	"swallow/internal/service/queue"
 )
+
+// maxSpecBytes bounds a submitted scenario body.
+const maxSpecBytes = 1 << 20
 
 // Options configures a Server. Zero fields take the stated defaults.
 type Options struct {
@@ -103,6 +121,7 @@ func New(opts Options) *Server {
 	}
 	s.mux.HandleFunc("GET /artifacts", s.handleArtifacts)
 	s.mux.HandleFunc("GET /artifacts/{name}", s.handleArtifact)
+	s.mux.HandleFunc("POST /scenarios", s.handleScenario)
 	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -254,6 +273,13 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 		writeError(w, runStatus(err), "%s: %v", name, err)
 		return
 	}
+	writeCachedEntry(w, r, entry, hit)
+}
+
+// writeCachedEntry is the shared epilogue of every cache-backed text
+// render: the content hash as a strong ETag, X-Cache HIT|MISS,
+// If-None-Match conditional handling, then the body.
+func writeCachedEntry(w http.ResponseWriter, r *http.Request, entry cache.Entry, hit bool) {
 	etag := `"` + entry.ContentHash + `"`
 	w.Header().Set("ETag", etag)
 	w.Header().Set("X-Cache", map[bool]string{true: "HIT", false: "MISS"}[hit])
@@ -265,9 +291,77 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 	w.Write(entry.Body)
 }
 
-// jobRequest is the POST /jobs body.
+// renderScenario runs a compiled scenario under the config and
+// returns its cached (or freshly filled) entry. The cache key is the
+// spec's canonical content hash (plus the projected config), so
+// equivalent spellings of one scenario share an entry and concurrent
+// identical submissions share one simulation, exactly like named
+// artifacts. Render latency aggregates under the fixed "scenario"
+// label to keep /metrics cardinality bounded however many distinct
+// specs clients invent.
+func (s *Server) renderScenario(c *scenario.Compiled, cfg harness.Config) (cache.Entry, bool, error) {
+	cfg = c.Artifact.Project(cfg)
+	key := cache.Key("scenario:"+c.Hash, cfg)
+	return s.cache.GetOrFill(key, func() ([]byte, error) {
+		start := time.Now()
+		t, err := c.Artifact.Table(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.met.observe("scenario", time.Since(start))
+		return []byte(t.String()), nil
+	})
+}
+
+// handleScenario compiles and runs a submitted spec synchronously.
+// Malformed specs (unknown structures, off-grid placements, empty
+// sweep axes, absurd grids...) fail validation with a field-level
+// message and map to 400; the run itself is cache-aware with the
+// body's content hash as a strong ETag and X-Scenario-Hash carrying
+// the spec identity the result is cached under.
+func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading spec: %v", err)
+		return
+	}
+	if len(body) > maxSpecBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "spec exceeds %d bytes", maxSpecBytes)
+		return
+	}
+	spec, err := scenario.Parse(body)
+	if err != nil {
+		writeError(w, runStatus(err), "%v", err)
+		return
+	}
+	c, err := scenario.Compile(spec)
+	if err != nil {
+		writeError(w, runStatus(err), "%v", err)
+		return
+	}
+	cfg, err := s.configFromQuery(r.URL.Query())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.met.scenario()
+	entry, hit, err := s.renderScenario(c, cfg)
+	if err != nil {
+		writeError(w, runStatus(err), "scenario %s: %v", c.Spec.Name, err)
+		return
+	}
+	w.Header().Set("X-Scenario-Hash", c.Hash)
+	writeCachedEntry(w, r, entry, hit)
+}
+
+// jobRequest is the POST /jobs body: either a registered artifact
+// name or an inline scenario spec.
 type jobRequest struct {
-	Artifact string `json:"artifact"`
+	Artifact string `json:"artifact,omitempty"`
+	// Scenario is the async variant of POST /scenarios; exclusive with
+	// Artifact. The job class is the spec hash, so distinct submitted
+	// scenarios round-robin against artifact jobs in the queue.
+	Scenario json.RawMessage `json:"scenario,omitempty"`
 	// Quick starts from the quick config before Config overrides.
 	Quick bool `json:"quick,omitempty"`
 	// Config optionally overrides render knobs; zero fields keep the
@@ -294,15 +388,43 @@ type jobView struct {
 // handleSubmit accepts an async render job. A saturated queue is
 // backpressure: 429 with Retry-After.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading job body: %v", err)
+		return
+	}
+	if len(body) > maxSpecBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "job body exceeds %d bytes", maxSpecBytes)
+		return
+	}
 	var req jobRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.Unmarshal(body, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "bad job body: %v", err)
 		return
 	}
-	a := harness.Lookup(req.Artifact)
-	if a == nil {
-		writeError(w, http.StatusNotFound, "unknown artifact %q (GET /artifacts lists them)", req.Artifact)
+	if req.Artifact != "" && len(req.Scenario) > 0 {
+		writeError(w, http.StatusBadRequest, "artifact and scenario are exclusive")
 		return
+	}
+	var a *harness.Artifact
+	var compiled *scenario.Compiled
+	label := req.Artifact
+	if len(req.Scenario) > 0 {
+		spec, err := scenario.Parse(req.Scenario)
+		if err != nil {
+			writeError(w, runStatus(err), "%v", err)
+			return
+		}
+		if compiled, err = scenario.Compile(spec); err != nil {
+			writeError(w, runStatus(err), "%v", err)
+			return
+		}
+		label = "scenario:" + compiled.Hash[:12]
+	} else {
+		if a = harness.Lookup(req.Artifact); a == nil {
+			writeError(w, http.StatusNotFound, "unknown artifact %q (GET /artifacts lists them)", req.Artifact)
+			return
+		}
 	}
 	cfg := s.def
 	if req.Quick {
@@ -330,13 +452,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	cfg = cfg.Canonical()
-	id, err := s.queue.Submit(a.Name, func() (any, error) {
-		entry, _, err := s.render(a, cfg)
+	run := func() (any, error) {
+		var entry cache.Entry
+		var err error
+		if compiled != nil {
+			entry, _, err = s.renderScenario(compiled, cfg)
+		} else {
+			entry, _, err = s.render(a, cfg)
+		}
 		if err != nil {
 			return nil, err
 		}
 		return jobResult{entry: entry}, nil
-	})
+	}
+	id, err := s.queue.Submit(label, run)
 	switch err {
 	case nil:
 	case queue.ErrFull:
@@ -351,9 +480,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
+	// Count the scenario only once the queue has accepted it, matching
+	// the sync path (which counts only submissions that reach a render).
+	if compiled != nil {
+		s.met.scenario()
+	}
 	writeJSON(w, http.StatusAccepted, jobView{
 		ID:       id,
-		Artifact: a.Name,
+		Artifact: label,
 		Status:   string(queue.StatusQueued),
 		URL:      "/jobs/" + id,
 	})
@@ -394,5 +528,6 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 // handleMetrics serves the text metrics snapshot.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	s.met.write(w, s.cache.Stats(), s.queue.Depth(), s.queue.Capacity())
+	s.met.write(w, s.cache.Stats(), s.queue.Depth(), s.queue.Capacity(),
+		core.SharedPool().Stats())
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"swallow/internal/core"
 	"swallow/internal/service/cache"
 )
 
@@ -21,10 +22,11 @@ type latAgg struct {
 // queue figures are read live from their owners; only request and
 // latency counters live here.
 type metrics struct {
-	mu       sync.Mutex
-	requests int64
-	rejected int64
-	renders  map[string]*latAgg
+	mu        sync.Mutex
+	requests  int64
+	rejected  int64
+	scenarios int64
+	renders   map[string]*latAgg
 }
 
 func newMetrics() *metrics {
@@ -42,6 +44,14 @@ func (m *metrics) request() {
 func (m *metrics) reject() {
 	m.mu.Lock()
 	m.rejected++
+	m.mu.Unlock()
+}
+
+// scenario counts one accepted (well-formed) scenario submission,
+// sync or async.
+func (m *metrics) scenario() {
+	m.mu.Lock()
+	m.scenarios++
 	m.mu.Unlock()
 }
 
@@ -63,11 +73,12 @@ func (m *metrics) observe(artifact string, d time.Duration) {
 
 // write renders the snapshot in Prometheus-style text form, artifact
 // rows name-sorted for deterministic output.
-func (m *metrics) write(w io.Writer, cs cache.Stats, queueDepth, queueCap int) {
+func (m *metrics) write(w io.Writer, cs cache.Stats, queueDepth, queueCap int, ps core.PoolStats) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	fmt.Fprintf(w, "swallow_requests_total %d\n", m.requests)
 	fmt.Fprintf(w, "swallow_requests_rejected_total %d\n", m.rejected)
+	fmt.Fprintf(w, "swallow_scenarios_total %d\n", m.scenarios)
 	fmt.Fprintf(w, "swallow_cache_hits_total %d\n", cs.Hits)
 	fmt.Fprintf(w, "swallow_cache_misses_total %d\n", cs.Misses)
 	fmt.Fprintf(w, "swallow_cache_shared_fills_total %d\n", cs.Shared)
@@ -78,6 +89,11 @@ func (m *metrics) write(w io.Writer, cs cache.Stats, queueDepth, queueCap int) {
 	fmt.Fprintf(w, "swallow_cache_bytes %d\n", cs.Bytes)
 	fmt.Fprintf(w, "swallow_queue_depth %d\n", queueDepth)
 	fmt.Fprintf(w, "swallow_queue_capacity %d\n", queueCap)
+	fmt.Fprintf(w, "swallow_pool_builds_total %d\n", ps.Builds)
+	fmt.Fprintf(w, "swallow_pool_reuses_total %d\n", ps.Reuses)
+	fmt.Fprintf(w, "swallow_pool_evictions_total %d\n", ps.Evictions)
+	fmt.Fprintf(w, "swallow_pool_idle_machines %d\n", ps.Idle)
+	fmt.Fprintf(w, "swallow_pool_idle_bytes %d\n", ps.IdleBytes)
 	names := make([]string, 0, len(m.renders))
 	for name := range m.renders {
 		names = append(names, name)

@@ -1,6 +1,6 @@
 // Package queue is the bounded job engine of the serving layer: a
-// fixed worker pool draining a bounded submission channel. Submit is
-// non-blocking — a full channel is backpressure, surfaced by the API
+// fixed worker pool draining a bounded pending set. Submit is
+// non-blocking — a full queue is backpressure, surfaced by the API
 // layer as 429 + Retry-After rather than unbounded queueing — and
 // Close is a graceful drain: accepted jobs (queued and in-flight) all
 // run to completion before Close returns.
@@ -10,6 +10,13 @@
 // pollable string IDs. Completed jobs are retained up to a bounded
 // history so pollers can fetch results after the fact without the job
 // table growing forever.
+//
+// Scheduling is fair across job classes: pending jobs are kept in one
+// FIFO per label (artifact name, submitted-scenario hash) and workers
+// pop round-robin over the classes with work, FIFO within each class.
+// A burst of heavy submitted scenarios therefore cannot starve cheap
+// artifact renders — the next artifact job is at most one round-robin
+// cycle away — while a single-class workload degrades to plain FIFO.
 package queue
 
 import (
@@ -60,19 +67,27 @@ var (
 	ErrClosed = errors.New("queue: shutting down")
 )
 
-// Queue is a bounded job queue with a fixed worker pool. Build with
-// New.
+// Queue is a bounded job queue with a fixed worker pool and per-class
+// round-robin scheduling. Build with New.
 type Queue struct {
-	mu      sync.Mutex
-	jobs    map[string]*job
-	done    []string // completed job IDs, oldest first, for retention
-	retain  int
-	nextID  int
-	queued  int
-	running int
-	closed  bool
+	mu   sync.Mutex
+	cond *sync.Cond
+	jobs map[string]*job
+	// pending is one FIFO per class label; ring lists the classes that
+	// currently have pending jobs, in round-robin order starting at
+	// rr. A class leaves the ring when its FIFO empties.
+	pending map[string][]*job
+	ring    []string
+	rr      int
 
-	ch chan *job
+	done     []string // completed job IDs, oldest first, for retention
+	retain   int
+	capacity int
+	nextID   int
+	queued   int
+	running  int
+	closed   bool
+
 	wg sync.WaitGroup
 }
 
@@ -87,10 +102,12 @@ func New(workers, capacity, retain int) *Queue {
 		capacity = 1
 	}
 	q := &Queue{
-		jobs:   make(map[string]*job),
-		retain: retain,
-		ch:     make(chan *job, capacity),
+		jobs:     make(map[string]*job),
+		pending:  make(map[string][]*job),
+		retain:   retain,
+		capacity: capacity,
 	}
+	q.cond = sync.NewCond(&q.mu)
 	q.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go q.worker()
@@ -98,12 +115,42 @@ func New(workers, capacity, retain int) *Queue {
 	return q
 }
 
-// worker drains the channel until it is closed.
+// pop takes the next job under the fairness discipline: the first
+// non-empty class at or after the round-robin cursor, oldest job
+// first. Caller holds mu and has checked queued > 0.
+func (q *Queue) pop() *job {
+	if q.rr >= len(q.ring) {
+		q.rr = 0
+	}
+	label := q.ring[q.rr]
+	fifo := q.pending[label]
+	j := fifo[0]
+	fifo[0] = nil
+	if len(fifo) == 1 {
+		delete(q.pending, label)
+		q.ring = append(q.ring[:q.rr], q.ring[q.rr+1:]...)
+		// rr now indexes the next class already; wrap handled on entry.
+	} else {
+		q.pending[label] = fifo[1:]
+		q.rr++
+	}
+	q.queued--
+	return j
+}
+
+// worker drains the pending set until the queue is closed and empty.
 func (q *Queue) worker() {
 	defer q.wg.Done()
-	for j := range q.ch {
+	for {
 		q.mu.Lock()
-		q.queued--
+		for q.queued == 0 && !q.closed {
+			q.cond.Wait()
+		}
+		if q.queued == 0 && q.closed {
+			q.mu.Unlock()
+			return
+		}
+		j := q.pop()
 		q.running++
 		j.Status = StatusRunning
 		j.Started = time.Now()
@@ -136,14 +183,17 @@ func (q *Queue) retire(id string) {
 	}
 }
 
-// Submit enqueues fn under a fresh ID. It never blocks: when the
-// queue is at capacity it returns ErrFull (backpressure), and after
-// Close it returns ErrClosed.
+// Submit enqueues fn under a fresh ID in label's class. It never
+// blocks: when the queue is at capacity it returns ErrFull
+// (backpressure), and after Close it returns ErrClosed.
 func (q *Queue) Submit(label string, fn func() (any, error)) (string, error) {
 	q.mu.Lock()
+	defer q.mu.Unlock()
 	if q.closed {
-		q.mu.Unlock()
 		return "", ErrClosed
+	}
+	if q.queued >= q.capacity {
+		return "", ErrFull
 	}
 	q.nextID++
 	j := &job{
@@ -155,17 +205,14 @@ func (q *Queue) Submit(label string, fn func() (any, error)) (string, error) {
 		},
 		fn: fn,
 	}
-	select {
-	case q.ch <- j:
-		q.jobs[j.ID] = j
-		q.queued++
-		q.mu.Unlock()
-		return j.ID, nil
-	default:
-		q.nextID--
-		q.mu.Unlock()
-		return "", ErrFull
+	if _, ok := q.pending[label]; !ok {
+		q.ring = append(q.ring, label)
 	}
+	q.pending[label] = append(q.pending[label], j)
+	q.jobs[j.ID] = j
+	q.queued++
+	q.cond.Signal()
+	return j.ID, nil
 }
 
 // Get snapshots a job by ID.
@@ -187,20 +234,15 @@ func (q *Queue) Depth() int {
 }
 
 // Capacity reports the pending-slot bound.
-func (q *Queue) Capacity() int { return cap(q.ch) }
+func (q *Queue) Capacity() int { return q.capacity }
 
 // Close stops accepting jobs and drains gracefully: every job already
 // accepted — queued or running — completes before Close returns.
 // Close is idempotent.
 func (q *Queue) Close() {
 	q.mu.Lock()
-	if q.closed {
-		q.mu.Unlock()
-		q.wg.Wait()
-		return
-	}
 	q.closed = true
+	q.cond.Broadcast()
 	q.mu.Unlock()
-	close(q.ch)
 	q.wg.Wait()
 }

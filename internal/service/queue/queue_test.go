@@ -2,6 +2,7 @@ package queue
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 )
@@ -111,6 +112,80 @@ func TestCloseDrainsAcceptedJobs(t *testing.T) {
 		t.Fatalf("post-Close Submit returned %v, want ErrClosed", err)
 	}
 	q.Close() // idempotent
+}
+
+// TestRoundRobinFairnessAcrossClasses: a burst of jobs in one class
+// must not starve a later submission in another class. With a single
+// worker held open, five "heavy" jobs are queued before one "cheap"
+// job; under FIFO the cheap job would run last, under per-class
+// round-robin it runs immediately after the first heavy job.
+func TestRoundRobinFairnessAcrossClasses(t *testing.T) {
+	q := New(1, 16, 16)
+	defer q.Close()
+	gate := make(chan struct{})
+	running := make(chan struct{})
+	blocker, err := q.Submit("warmup", func() (any, error) {
+		close(running)
+		<-gate
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-running // the worker is now held; everything below queues up
+
+	var mu sync.Mutex
+	var order []string
+	record := func(label string) func() (any, error) {
+		return func() (any, error) {
+			mu.Lock()
+			order = append(order, label)
+			mu.Unlock()
+			return nil, nil
+		}
+	}
+	var last string
+	for i := 0; i < 5; i++ {
+		if last, err = q.Submit("heavy", record("heavy")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cheap, err := q.Submit("cheap", record("cheap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(gate)
+	wait(t, q, blocker)
+	wait(t, q, cheap)
+	wait(t, q, last)
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 6 {
+		t.Fatalf("ran %d jobs, want 6 (%v)", len(order), order)
+	}
+	// The cheap job must complete within the first round-robin cycle
+	// (position 0 or 1), not behind the whole heavy backlog.
+	pos := -1
+	for i, l := range order {
+		if l == "cheap" {
+			pos = i
+		}
+	}
+	if pos > 1 {
+		t.Fatalf("cheap job ran at position %d of %v; heavy class starved it", pos, order)
+	}
+	// FIFO holds within a class: all heavy jobs in submission order is
+	// implied by them being identical; what matters is none was lost.
+	heavies := 0
+	for _, l := range order {
+		if l == "heavy" {
+			heavies++
+		}
+	}
+	if heavies != 5 {
+		t.Fatalf("heavy class lost jobs: %v", order)
+	}
 }
 
 func TestRetentionForgetsOldestCompleted(t *testing.T) {

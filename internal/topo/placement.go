@@ -1,0 +1,91 @@
+package topo
+
+import "fmt"
+
+// PlacementPolicy names a deterministic strategy for mapping an
+// ordered set of n tasks onto the cores of a System. Policies are the
+// declarative counterpart of the paper's placement experiments: the
+// same program structure placed "column" (every hop short, the
+// Section V-D locality recommendation) or "scatter"/"corners" (hops
+// crossing boards) exposes the energy and latency cost of ignoring
+// locality without hand-listing nodes.
+type PlacementPolicy string
+
+const (
+	// PlaceColumn packs tasks down column 0, both layers of each
+	// package before the next row — consecutive tasks are at most one
+	// internal or vertical hop apart.
+	PlaceColumn PlacementPolicy = "column"
+	// PlaceRow packs tasks along row 0, both layers of each package
+	// before the next column.
+	PlaceRow PlacementPolicy = "row"
+	// PlaceScatter strides through the full node list so tasks spread
+	// evenly across the whole grid.
+	PlaceScatter PlacementPolicy = "scatter"
+	// PlaceCorners alternates tasks between the four grid corners —
+	// the adversarial placement where nearly every hop is maximal.
+	PlaceCorners PlacementPolicy = "corners"
+)
+
+// Place maps n tasks onto distinct cores of s under the policy,
+// returning them in task order. It fails when the policy is unknown
+// or the grid cannot host n distinct cores under it.
+func Place(s System, p PlacementPolicy, n int) ([]NodeID, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("topo: placement needs >= 1 task, got %d", n)
+	}
+	switch p {
+	case PlaceColumn:
+		if max := 2 * s.Height(); n > max {
+			return nil, fmt.Errorf("topo: column placement holds %d cores, need %d", max, n)
+		}
+		out := make([]NodeID, 0, n)
+		for y := 0; len(out) < n; y++ {
+			out = append(out, MakeNodeID(0, y, LayerV))
+			if len(out) < n {
+				out = append(out, MakeNodeID(0, y, LayerH))
+			}
+		}
+		return out, nil
+	case PlaceRow:
+		if max := 2 * s.Width(); n > max {
+			return nil, fmt.Errorf("topo: row placement holds %d cores, need %d", max, n)
+		}
+		out := make([]NodeID, 0, n)
+		for x := 0; len(out) < n; x++ {
+			out = append(out, MakeNodeID(x, 0, LayerV))
+			if len(out) < n {
+				out = append(out, MakeNodeID(x, 0, LayerH))
+			}
+		}
+		return out, nil
+	case PlaceScatter:
+		nodes := s.Nodes()
+		if n > len(nodes) {
+			return nil, fmt.Errorf("topo: grid has %d cores, need %d", len(nodes), n)
+		}
+		out := make([]NodeID, n)
+		for i := 0; i < n; i++ {
+			// Evenly spaced indices over the y-major node order.
+			out[i] = nodes[i*len(nodes)/n]
+		}
+		return out, nil
+	case PlaceCorners:
+		w, h := s.Width(), s.Height()
+		corners := [][2]int{{0, 0}, {w - 1, h - 1}, {0, h - 1}, {w - 1, 0}}
+		if n > 8 {
+			return nil, fmt.Errorf("topo: corners placement holds 8 cores, need %d", n)
+		}
+		out := make([]NodeID, n)
+		for i := 0; i < n; i++ {
+			c := corners[i%4]
+			l := LayerV
+			if i >= 4 {
+				l = LayerH
+			}
+			out[i] = MakeNodeID(c[0], c[1], l)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("topo: unknown placement policy %q (have column, row, scatter, corners)", p)
+}

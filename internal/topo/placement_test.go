@@ -1,0 +1,79 @@
+package topo
+
+import "testing"
+
+func TestPlacementPolicies(t *testing.T) {
+	sys := MustSystem(2, 2)
+	for _, tc := range []struct {
+		policy PlacementPolicy
+		n      int
+	}{
+		{PlaceColumn, 5},
+		{PlaceRow, 6},
+		{PlaceScatter, 7},
+		{PlaceCorners, 8},
+	} {
+		nodes, err := Place(sys, tc.policy, tc.n)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.policy, err)
+		}
+		if len(nodes) != tc.n {
+			t.Fatalf("%s: placed %d, want %d", tc.policy, len(nodes), tc.n)
+		}
+		seen := make(map[NodeID]bool)
+		for _, nd := range nodes {
+			if !sys.Contains(nd) {
+				t.Fatalf("%s: node %v off-grid", tc.policy, nd)
+			}
+			if seen[nd] {
+				t.Fatalf("%s: node %v placed twice", tc.policy, nd)
+			}
+			seen[nd] = true
+		}
+	}
+}
+
+func TestPlacementDeterministic(t *testing.T) {
+	sys := MustSystem(2, 2)
+	a, _ := Place(sys, PlaceScatter, 6)
+	b, _ := Place(sys, PlaceScatter, 6)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("scatter placement not deterministic at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestPlacementColumnIsLocal(t *testing.T) {
+	// Column packing puts consecutive tasks within one hop: same
+	// package or vertically adjacent.
+	sys := MustSystem(1, 1)
+	nodes, err := Place(sys, PlaceColumn, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(nodes); i++ {
+		prev, cur := nodes[i-1], nodes[i]
+		samePackage := prev.Package() == cur
+		adjacent := prev.X() == cur.X() && (cur.Y()-prev.Y() == 1 || prev.Y()-cur.Y() == 1)
+		if !samePackage && !adjacent {
+			t.Fatalf("column tasks %d->%d not local: %v -> %v", i-1, i, prev, cur)
+		}
+	}
+}
+
+func TestPlacementRejects(t *testing.T) {
+	sys := MustSystem(1, 1)
+	if _, err := Place(sys, PlaceColumn, 99); err == nil {
+		t.Error("overfull column placement accepted")
+	}
+	if _, err := Place(sys, "diagonal", 2); err == nil {
+		t.Error("unknown policy accepted")
+	}
+	if _, err := Place(sys, PlaceScatter, 0); err == nil {
+		t.Error("zero-task placement accepted")
+	}
+	if _, err := Place(sys, PlaceCorners, 9); err == nil {
+		t.Error("overfull corners placement accepted")
+	}
+}

@@ -144,6 +144,52 @@ func PingTx(dest noc.ChanEndID, rounds int) *xs1.Program {
 	return xs1.MustAssemble(src)
 }
 
+// LocalPingPong measures thread-to-thread latency inside one core:
+// thread 0 ping-pongs words with a sibling thread through the core's
+// channel ends main (chanend 0) and peer (chanend 1), wiring both
+// directions before starting the peer, and leaves per-round round-trip
+// reference-tick times in the debug trace. It is the core-local probe
+// of the Section V-C latency table.
+func LocalPingPong(main, peer noc.ChanEndID, rounds int) *xs1.Program {
+	src := fmt.Sprintf(`
+		getr r0, 2        ; chanend 0 (main)
+		getr r1, 2        ; chanend 1 (peer)
+		ldc  r2, %d
+		setd r0, r2       ; main -> peer
+		ldc  r2, %d
+		setd r1, r2       ; peer -> main
+		getst r3, peer
+		tsetr r3, 0, r1   ; peer's channel end
+		ldc  r4, 0x8000
+		tsetr r3, 12, r4
+		tstart r3
+		ldc  r5, %d       ; rounds
+	pingloop:
+		time r6
+		out  r0, r6
+		in   r0, r7
+		time r8
+		sub  r8, r8, r6
+		dbg  r8
+		subi r5, r5, 1
+		brt  r5, pingloop
+		outct r0, ct_end
+		tjoin r3
+		tend
+	peer:
+		ldc  r5, %d
+	echo:
+		in   r0, r2
+		out  r0, r2
+		subi r5, r5, 1
+		brt  r5, echo
+		chkct r0, ct_end
+		outct r0, ct_end
+		tend
+	`, uint32(peer), uint32(main), rounds, rounds)
+	return xs1.MustAssemble(src)
+}
+
 // PingRx echoes every received word back to txID, closing its route
 // after rounds echoes.
 func PingRx(txID noc.ChanEndID, rounds int) *xs1.Program {
