@@ -128,6 +128,75 @@ func BenchmarkMachinePool(b *testing.B) {
 	})
 }
 
+// BenchmarkSnapshotRestore isolates the warm-start primitive: restore
+// rewinds a loaded, busy machine to a snapshot taken after a common
+// prefix; reset-rerun pays the honest alternative — Reset, reload and
+// re-simulate the same prefix. Their ratio is the per-point saving a
+// warm-started sweep banks on top of pooling. boot-sweep-warm and
+// boot-sweep-cold lift the same comparison to a whole registered
+// artifact whose sweep points share a network-boot prefix.
+func BenchmarkSnapshotRestore(b *testing.B) {
+	const prefix = 200 * sim.Microsecond
+	prog := workload.BusyLoop(4, 1_000_000)
+	b.Run("restore", func(b *testing.B) {
+		m, err := core.New(1, 1, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.LoadAll(prog); err != nil {
+			b.Fatal(err)
+		}
+		m.RunFor(prefix)
+		snap := m.Snapshot()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Restore(snap)
+		}
+	})
+	b.Run("reset-rerun", func(b *testing.B) {
+		m, err := core.New(1, 1, core.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Reset()
+			if err := m.LoadAll(prog); err != nil {
+				b.Fatal(err)
+			}
+			m.RunFor(prefix)
+		}
+	})
+	var bootSweep *harness.Artifact
+	for _, a := range harness.Artifacts() {
+		if a.Name == "boot-sweep" {
+			bootSweep = a
+			break
+		}
+	}
+	if bootSweep == nil {
+		b.Fatal("boot-sweep artifact not registered")
+	}
+	cfg := harness.QuickConfig()
+	prevWarm := experiments.WarmStart()
+	defer experiments.SetWarmStart(prevWarm)
+	for _, mode := range []struct {
+		name string
+		warm bool
+	}{{"boot-sweep-warm", true}, {"boot-sweep-cold", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			experiments.SetWarmStart(mode.warm)
+			for i := 0; i < b.N; i++ {
+				if _, err := bootSweep.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkScenarioCompile times the declarative layer's fixed
 // overhead: parsing a canonical spec from JSON, validating it,
 // deriving its content hash and lowering it to an artifact — the

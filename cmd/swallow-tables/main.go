@@ -61,9 +61,11 @@ func main() {
 	par := flag.Int("par", runtime.GOMAXPROCS(0), "max goroutines per sweep (output is identical at any setting)")
 	seq := flag.Bool("seq", false, "run sweeps serially (same as -par 1)")
 	pool := flag.Bool("pool", true, "reuse machines across sweep points (output is identical either way)")
+	warm := flag.Bool("warm-start", true, "restore pooled machines and boot prefixes from snapshots (output is identical either way)")
 	scenarios := flag.String("scenario", "", "comma-separated scenario spec files to compile and render instead of the registry")
 	flag.Parse()
 	experiments.SetPooling(*pool)
+	experiments.SetWarmStart(*warm)
 
 	if *list {
 		width := 0

@@ -1,0 +1,51 @@
+package bridge
+
+import "swallow/internal/sim"
+
+// Snapshot is a point-in-time capture of a bridge: its ingress queue,
+// mid-message progress, pacing deadlines, completed and in-progress
+// egress frames, and statistics. Pacing timer registrations are kernel
+// state, captured by the kernel's own snapshot; Restore here copies
+// only plain bridge state.
+//
+// Queued payloads and completed frames are immutable once built (Send
+// copies its input; a frame is never appended to after its END token),
+// so the capture shares them and copies only the outer slices and the
+// still-growing current frame.
+type Snapshot struct {
+	sendQ          []outMsg
+	inMsg          int
+	nextTx, nextRx sim.Time
+	frames         [][]byte
+	current        []byte
+	bytesIn        uint64
+	bytesOut       uint64
+}
+
+// Snapshot captures the bridge's current state.
+func (b *Bridge) Snapshot() *Snapshot {
+	return &Snapshot{
+		sendQ:    append([]outMsg(nil), b.sendQ...),
+		inMsg:    b.inMsg,
+		nextTx:   b.nextTx,
+		nextRx:   b.nextRx,
+		frames:   append([][]byte(nil), b.frames...),
+		current:  append([]byte(nil), b.current...),
+		bytesIn:  b.BytesIn,
+		bytesOut: b.BytesOut,
+	}
+}
+
+// Restore rewinds the bridge to a prior Snapshot, reusing existing
+// slice capacity so a warm restore allocates nothing beyond (at most)
+// first-time slice growth.
+func (b *Bridge) Restore(s *Snapshot) {
+	clear(b.sendQ)
+	b.sendQ = append(b.sendQ[:0], s.sendQ...)
+	b.inMsg = s.inMsg
+	b.nextTx, b.nextRx = s.nextTx, s.nextRx
+	clear(b.frames)
+	b.frames = append(b.frames[:0], s.frames...)
+	b.current = append(b.current[:0], s.current...)
+	b.BytesIn, b.BytesOut = s.bytesIn, s.bytesOut
+}

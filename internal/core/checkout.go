@@ -16,7 +16,18 @@ var (
 	// poolingOff inverts the sense so the zero value means "pooling
 	// on", the default.
 	poolingOff atomic.Bool
+	// warmOff likewise inverts warm-start, so the default is on.
+	warmOff atomic.Bool
 )
+
+// SetWarmStart toggles snapshot-based warm starts: the pool rewinding
+// parked machines from a pristine snapshot instead of Reset, and
+// sweep runners reusing a snapshotted common prefix across points.
+// Output is byte-identical either way; off re-runs every prefix.
+func SetWarmStart(on bool) { warmOff.Store(!on) }
+
+// WarmStartEnabled reports whether warm starts are in effect.
+func WarmStartEnabled() bool { return !warmOff.Load() }
 
 // SharedPool returns the process-wide pool Checkout draws from, for
 // drivers that tune its limits (SetLimit) or report its Stats.

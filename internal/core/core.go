@@ -5,11 +5,20 @@
 //
 // This is the package examples, tools and benchmarks program against; a
 // Machine is the paper's Fig. 1 stack in software.
+//
+// Machines support three progressively cheaper lifecycles: New builds
+// from scratch; Reset/Retune rewind a build in place (what the shared
+// Pool uses across sweep points); and Snapshot/Restore rewind to an
+// arbitrary mid-run point, copying back only SRAM pages written since
+// the snapshot, so sweeps that share a simulated prefix (a network
+// boot, a warmup) pay for it once. All three are held observationally
+// identical by differential tests; see snapshot.go for the contract.
 package core
 
 import (
 	"fmt"
 
+	"swallow/internal/bridge"
 	"swallow/internal/noc"
 	"swallow/internal/power"
 	"swallow/internal/sim"
@@ -126,9 +135,25 @@ type Machine struct {
 	supplies [][]*power.Supply
 	boards   []*power.Board
 
+	// bridges are the attachment slots Machine.Bridge manages, in
+	// first-attach order. Slots persist across Reset/Restore (detached,
+	// holding no channel-end claims) so a pooled machine reuses its
+	// built bridges.
+	bridges []*bridgeSlot
+
 	epoch sim.Time
 	// shape is the structural key the Pool files this machine under.
 	shape shape
+	// pristine is the post-Reset snapshot a warm pool Put rewinds to
+	// instead of Reset, taken lazily on first warm Put.
+	pristine *Snapshot
+}
+
+// bridgeSlot is one Machine.Bridge attachment: the built bridge and
+// whether it currently holds its claims.
+type bridgeSlot struct {
+	b    *bridge.Bridge
+	live bool
 }
 
 // New builds a machine over a slicesX x slicesY board grid.
@@ -179,6 +204,11 @@ func (m *Machine) Reset() {
 	}
 	for _, b := range m.boards {
 		b.Reset()
+	}
+	// Net.Reset released every channel end, detaching any bridges;
+	// Machine.Bridge revives them on demand.
+	for _, slot := range m.bridges {
+		slot.live = false
 	}
 	m.epoch = 0
 }

@@ -101,14 +101,26 @@ func (p *Pool) Get(slicesX, slicesY int, opts Options) (*Machine, error) {
 	return m, nil
 }
 
-// Put parks a machine for reuse. The machine is Reset immediately so
-// idle machines hold no run state (programs, traces, wake callbacks)
-// and a later Get only retunes.
+// Put parks a machine for reuse. The machine is rewound immediately
+// so idle machines hold no run state (programs, traces, wake
+// callbacks) and a later Get only retunes. With warm start enabled
+// the rewind restores a pristine post-Reset snapshot — copying only
+// the SRAM pages the run dirtied instead of clearing every bank —
+// taken once on the machine's first return.
 func (p *Pool) Put(m *Machine) {
 	if m == nil {
 		return
 	}
-	m.Reset()
+	if WarmStartEnabled() {
+		if m.pristine == nil {
+			m.Reset()
+			m.pristine = m.Snapshot()
+		} else {
+			m.Restore(m.pristine)
+		}
+	} else {
+		m.Reset()
+	}
 	p.mu.Lock()
 	p.idle[m.shape] = append(p.idle[m.shape], m)
 	p.fifo = append(p.fifo, m)

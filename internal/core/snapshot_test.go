@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"swallow/internal/bridge"
+	"swallow/internal/noc"
+	"swallow/internal/sim"
+	"swallow/internal/topo"
+	"swallow/internal/workload"
+)
+
+// loadPipeline places a three-stage pipeline (source -> stage -> sink)
+// on the South column of a 1x1 machine, sink first so every receiver
+// is resident before its sender issues.
+func loadPipeline(t *testing.T, m *Machine, items int) {
+	t.Helper()
+	chan0 := func(n topo.NodeID) noc.ChanEndID {
+		return noc.MakeChanEndID(uint16(n), 0)
+	}
+	sink := topo.MakeNodeID(0, 0, topo.LayerV)
+	stage := topo.MakeNodeID(0, 1, topo.LayerV)
+	source := topo.MakeNodeID(0, 2, topo.LayerV)
+	if err := m.Load(sink, workload.PipelineSink(items)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load(stage, workload.PipelineStage(chan0(sink), items, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Load(source, workload.PipelineSource(chan0(stage), items)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fingerprint summarises every machine-observable outcome a sweep
+// reads: time, instruction and energy counters (exact float bits),
+// debug traces and console output.
+func fingerprint(m *Machine) string {
+	s := fmt.Sprintf("now=%d wall=%x link=%x", m.K.Now(),
+		math.Float64bits(m.WallEnergyJ()), math.Float64bits(m.Net.TotalLinkEnergyJ()))
+	for i, c := range m.Cores() {
+		s += fmt.Sprintf(" c%d{n=%d dyn=%x e=%x last=%d trace=%v con=%q}",
+			i, c.InstrCount, math.Float64bits(c.DynamicEnergyJ()),
+			math.Float64bits(c.EnergyJ()), c.LastIssue, c.DebugTrace, c.Console)
+	}
+	return s
+}
+
+// drain steps the kernel to quiescence, recording the time of every
+// event fired — the remaining event sequence a snapshot must replay.
+func drain(t *testing.T, m *Machine) []sim.Time {
+	t.Helper()
+	var seq []sim.Time
+	for i := 0; m.K.Step(); i++ {
+		if i > 5_000_000 {
+			t.Fatal("event sequence did not quiesce")
+		}
+		seq = append(seq, m.K.Now())
+	}
+	return seq
+}
+
+func sameSeq(a, b []sim.Time) (int, bool) {
+	if len(a) != len(b) {
+		return -1, false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return i, false
+		}
+	}
+	return 0, true
+}
+
+// TestMachineSnapshotDifferential is the warm-start contract test:
+// Restore must be byte-identical to Reset + re-running the prefix,
+// both in every machine-observable counter and in the exact remaining
+// event sequence.
+func TestMachineSnapshotDifferential(t *testing.T) {
+	const items, prefix = 48, 2500
+	m := MustNew(1, 1, Options{})
+	loadPipeline(t, m, items)
+	for i := 0; i < prefix; i++ {
+		if !m.K.Step() {
+			t.Fatalf("pipeline quiesced after %d steps; prefix %d too long", i, prefix)
+		}
+	}
+	snap := m.Snapshot()
+	wantSeq := drain(t, m)
+	if len(wantSeq) < 100 {
+		t.Fatalf("only %d events after the prefix; snapshot point uninteresting", len(wantSeq))
+	}
+	wantFP := fingerprint(m)
+
+	// Path 1: restore the snapshot and replay.
+	m.Restore(snap)
+	gotSeq := drain(t, m)
+	if i, ok := sameSeq(wantSeq, gotSeq); !ok {
+		t.Fatalf("restored replay diverged at step %d (len %d vs %d)", i, len(wantSeq), len(gotSeq))
+	}
+	if got := fingerprint(m); got != wantFP {
+		t.Fatalf("restored replay fingerprint:\n got %s\nwant %s", got, wantFP)
+	}
+
+	// Path 2: Reset + re-run the prefix, then replay — the definition
+	// the snapshot must match.
+	m.Reset()
+	loadPipeline(t, m, items)
+	for i := 0; i < prefix; i++ {
+		m.K.Step()
+	}
+	gotSeq = drain(t, m)
+	if i, ok := sameSeq(wantSeq, gotSeq); !ok {
+		t.Fatalf("reset+rerun replay diverged at step %d (len %d vs %d)", i, len(wantSeq), len(gotSeq))
+	}
+	if got := fingerprint(m); got != wantFP {
+		t.Fatalf("reset+rerun fingerprint:\n got %s\nwant %s", got, wantFP)
+	}
+
+	// The snapshot must survive the intervening Reset and restore again.
+	m.Restore(snap)
+	gotSeq = drain(t, m)
+	if i, ok := sameSeq(wantSeq, gotSeq); !ok {
+		t.Fatalf("second restore diverged at step %d", i)
+	}
+}
+
+// TestMachineSnapshotRandomizedBoundaries snapshots at arbitrary event
+// boundaries mid-run and verifies the restored machine replays the
+// identical remaining event sequence and final state. The workload is
+// in-SRAM programs, so the snapshot captures all driving state.
+func TestMachineSnapshotRandomizedBoundaries(t *testing.T) {
+	const items = 32
+	m := MustNew(1, 1, Options{})
+	loadPipeline(t, m, items)
+	total := len(drain(t, m))
+	if total < 2000 {
+		t.Fatalf("pipeline only fires %d events; workload too small to probe", total)
+	}
+	// Deterministic pseudo-random boundaries spread over the run.
+	rnd := uint64(1)
+	for trial := 0; trial < 6; trial++ {
+		rnd = rnd*6364136223846793005 + 1442695040888963407
+		cut := 50 + int(rnd%uint64(total-100))
+		m.Reset()
+		loadPipeline(t, m, items)
+		for i := 0; i < cut; i++ {
+			m.K.Step()
+		}
+		snap := m.Snapshot()
+		wantSeq := drain(t, m)
+		wantFP := fingerprint(m)
+		m.Restore(snap)
+		gotSeq := drain(t, m)
+		if i, ok := sameSeq(wantSeq, gotSeq); !ok {
+			t.Fatalf("cut %d: replay diverged at step %d (len %d vs %d)",
+				cut, i, len(wantSeq), len(gotSeq))
+		}
+		if got := fingerprint(m); got != wantFP {
+			t.Fatalf("cut %d: fingerprint\n got %s\nwant %s", cut, got, wantFP)
+		}
+	}
+}
+
+// TestWarmRestoreAllocs is the zero-alloc guard: once a machine's
+// slice capacities are warm, restoring a snapshot after a run must
+// allocate nothing — dirty SRAM pages are copied into place, queues
+// rewound in their existing backing arrays.
+func TestWarmRestoreAllocs(t *testing.T) {
+	const items = 16
+	m := MustNew(1, 1, Options{})
+	loadPipeline(t, m, items)
+	for i := 0; i < 1500; i++ {
+		m.K.Step()
+	}
+	snap := m.Snapshot()
+	cycle := func() {
+		for i := 0; i < 200; i++ {
+			m.K.Step()
+		}
+		m.Restore(snap)
+	}
+	// Warm slice capacities (kernel buckets migrate around the wheel).
+	for i := 0; i < 60; i++ {
+		cycle()
+	}
+	before := ReadSnapshotStats()
+	if avg := testing.AllocsPerRun(10, cycle); avg > 0.5 {
+		t.Fatalf("warm restore cycle allocates %.1f times, want 0", avg)
+	}
+	after := ReadSnapshotStats()
+	if after.Restores <= before.Restores {
+		t.Fatalf("restore counter did not advance: %+v -> %+v", before, after)
+	}
+}
+
+// TestBridgePooling pins bridges to their machine across Reset and
+// pool recycling: the same built bridge is revived, not rebuilt.
+func TestBridgePooling(t *testing.T) {
+	node := topo.MakeNodeID(0, topo.PackagesPerSliceY-1, topo.LayerV)
+	p := NewPool()
+	m, err := p.Get(1, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := m.Bridge(node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2, err := m.Bridge(node); err != nil || b2 != b1 {
+		t.Fatalf("second Bridge call: %v, same=%v", err, b2 == b1)
+	}
+	p.Put(m)
+	m2, err := p.Get(1, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2 != m {
+		t.Fatal("pool did not recycle the machine")
+	}
+	b3, err := m2.Bridge(node)
+	if err != nil {
+		t.Fatalf("reviving pooled bridge: %v", err)
+	}
+	if b3 != b1 {
+		t.Fatal("pooled machine rebuilt its bridge")
+	}
+	// The revived bridge must hold live claims again: a fresh attach at
+	// the same node must fail.
+	if _, err := bridge.New(m2.K, m2.Net, node); err == nil {
+		t.Fatal("revived bridge holds no claims")
+	}
+	p.Put(m2)
+}

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"swallow/internal/bridge"
 	"swallow/internal/core"
 	"swallow/internal/energy"
 	"swallow/internal/harness/sweep"
@@ -104,7 +103,9 @@ func BridgeRate() (float64, error) {
 	}
 	defer release()
 	k, net := m.K, m.Net
-	br, err := bridge.New(k, net, topo.MakeNodeID(0, 3, topo.LayerV))
+	// Bridges belong to their machine: a pooled checkout revives the
+	// built bridge instead of constructing a new one.
+	br, err := m.Bridge(topo.MakeNodeID(0, 3, topo.LayerV))
 	if err != nil {
 		return 0, err
 	}
@@ -229,7 +230,7 @@ func BootCost() (nos.BootStats, error) {
 		return nos.BootStats{}, err
 	}
 	defer release()
-	br, err := bridge.New(m.K, m.Net, topo.MakeNodeID(0, 3, topo.LayerV))
+	br, err := m.Bridge(topo.MakeNodeID(0, 3, topo.LayerV))
 	if err != nil {
 		return nos.BootStats{}, err
 	}

@@ -15,7 +15,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table1", "table2", "table3", "fig1", "fig2", "fig3", "fig4",
 		"eq2", "latency", "goodput", "ec", "survey-ec", "placement",
 		"ablation-routing", "ablation-links", "ablation-placement",
-		"bridge", "boot", "energy", "adc",
+		"bridge", "boot", "boot-sweep", "energy", "adc",
 	}
 	got := harness.Names()
 	if len(got) != len(want) {

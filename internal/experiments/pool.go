@@ -26,6 +26,18 @@ func SetPooling(on bool) { core.SetPooling(on) }
 // Pooling reports whether checkouts reuse pooled machines.
 func Pooling() bool { return core.PoolingEnabled() }
 
+// SetWarmStart toggles snapshot-based warm starts: pooled machines
+// rewind from a pristine snapshot instead of Reset, and boot-mode
+// scenario sweeps restore a snapshotted boot prefix per point. Output
+// is identical either way; off re-simulates every prefix.
+func SetWarmStart(on bool) { core.SetWarmStart(on) }
+
+// WarmStart reports whether warm starts are in effect.
+func WarmStart() bool { return core.WarmStartEnabled() }
+
+// SnapshotStats snapshots the process-wide snapshot/restore counters.
+func SnapshotStats() core.SnapshotStats { return core.ReadSnapshotStats() }
+
 // PoolStats snapshots the shared pool's traffic counters.
 func PoolStats() core.PoolStats { return core.SharedPool().Stats() }
 

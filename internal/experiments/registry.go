@@ -177,6 +177,9 @@ func init() {
 			}
 		},
 	})
+	// boot-sweep is a compiled scenario with Boot set (scenarios.go):
+	// the registry's warm-start showcase.
+	registerBootSweepScenario()
 	harness.Register(harness.Spec[EnergyCompare]{
 		Name:        "energy",
 		Description: "Computation vs communication energy per bit",

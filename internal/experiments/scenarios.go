@@ -197,6 +197,47 @@ func AblationPlacementScenario() scenario.Spec {
 	}
 }
 
+// BootSweepScenario is the warm-start showcase: a short network-booted
+// pipeline swept across a DFS frequency grid. Every point shares one
+// boot prefix — images streamed over the simulated network at the base
+// operating point — then retunes to its own frequency and runs. A
+// warm-start sweep snapshots the booted machine once per worker and
+// restores it per point instead of re-simulating the boot.
+func BootSweepScenario() scenario.Spec {
+	return scenario.Spec{
+		Name:        "boot-sweep",
+		Description: "Network-booted pipeline: per-item energy across a DFS frequency sweep",
+		Grid:        scenario.Grid{SlicesX: 1, SlicesY: 1},
+		Workload: scenario.Workload{
+			Structure: "pipeline",
+			Items:     8,
+			Boot:      true,
+			Placement: &scenario.Placement{Nodes: []scenario.NodeRef{
+				vNode(0, 0), hNode(0, 0), vNode(0, 1), hNode(0, 1),
+			}},
+		},
+		Sweep: []scenario.Axis{{
+			Param:  "freq_mhz",
+			Floats: []float64{100, 150, 200, 250, 300, 350, 400, 500},
+		}},
+		Measure: "energy",
+		Table: &scenario.Table{
+			Title: "Network-booted pipeline under DFS (boot at 500 MHz, run at f)",
+			Label: "run frequency",
+		},
+	}
+}
+
+func registerBootSweepScenario() {
+	scenario.MustRegister(BootSweepScenario(), func(r *scenario.Result) map[string]float64 {
+		m := make(map[string]float64)
+		for _, p := range r.Points {
+			m[harness.MetricName(p.Label, "nJ/item")] = p.PerItemJ * 1e9
+		}
+		return m
+	})
+}
+
 // CanonicalScenarios lists the registry artifacts that are compiled
 // from scenario specs, for tests and the CI twin diff.
 func CanonicalScenarios() []scenario.Spec {

@@ -1,0 +1,102 @@
+package sweep
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// MapWarm is Map with per-worker state: open builds a worker's state
+// before its first point, every point the worker claims receives that
+// state, and close releases it when the worker drains. Warm-start
+// sweeps use the state to carry a machine plus a snapshot of the
+// sweep's common prefix, so each point after a worker's first costs a
+// restore instead of a build-and-re-run.
+//
+// The Map contract is unchanged: results come back in point order,
+// the error is the lowest-indexed failure, and parallelism affects
+// wall-clock only — each point must compute the same result whichever
+// worker (and therefore whichever warm state) it lands on. A serial
+// run uses exactly one state. close is called for every state open
+// returned, including on failure; an open error fails the sweep.
+func MapWarm[P, R, S any](
+	points []P,
+	open func() (S, error),
+	close func(S),
+	worker func(i int, p P, s S) (R, error),
+) ([]R, error) {
+	results := make([]R, len(points))
+	workers := Concurrency()
+	if workers > len(points) {
+		workers = len(points)
+	}
+	if workers <= 1 {
+		if len(points) == 0 {
+			return results, nil
+		}
+		s, err := open()
+		if err != nil {
+			return nil, err
+		}
+		defer close(s)
+		for i, p := range points {
+			r, err := worker(i, p, s)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+	errs := make([]error, len(points))
+	var next atomic.Int64
+	var failed atomic.Int64
+	failed.Store(int64(len(points)))
+	fail := func(i int) {
+		for {
+			cur := failed.Load()
+			if int64(i) >= cur || failed.CompareAndSwap(cur, int64(i)) {
+				break
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			var s S
+			opened := false
+			defer func() {
+				if opened {
+					close(s)
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(points) || int64(i) > failed.Load() {
+					return
+				}
+				if !opened {
+					var err error
+					if s, err = open(); err != nil {
+						errs[i] = err
+						fail(i)
+						return
+					}
+					opened = true
+				}
+				results[i], errs[i] = worker(i, points[i], s)
+				if errs[i] != nil {
+					fail(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

@@ -100,6 +100,9 @@ type Network struct {
 	Cfg      Config
 	switches map[topo.NodeID]*Switch
 	links    []*Link
+	// nodes caches Sys.Nodes() so snapshot/restore walks — which must
+	// allocate nothing on the warm path — need not rebuild the list.
+	nodes []topo.NodeID
 }
 
 // NewNetwork builds the interconnect for sys on kernel k.
@@ -107,7 +110,7 @@ func NewNetwork(k *sim.Kernel, sys topo.System, cfg Config) (*Network, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	n := &Network{K: k, Sys: sys, Cfg: cfg, switches: make(map[topo.NodeID]*Switch)}
+	n := &Network{K: k, Sys: sys, Cfg: cfg, switches: make(map[topo.NodeID]*Switch), nodes: sys.Nodes()}
 	for _, node := range sys.Nodes() {
 		n.switches[node] = newSwitch(n, node)
 	}

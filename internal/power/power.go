@@ -187,6 +187,28 @@ func (b *Board) Reset() {
 	}
 }
 
+// BoardSnapshot captures a board's averaging-window state: the last
+// sample time and per-channel energy baselines.
+type BoardSnapshot struct {
+	lastE []float64
+	lastT sim.Time
+}
+
+// Snapshot captures the board's averaging window.
+func (b *Board) Snapshot() *BoardSnapshot {
+	return &BoardSnapshot{
+		lastE: append([]float64(nil), b.lastE...),
+		lastT: b.lastT,
+	}
+}
+
+// Restore rewinds the averaging window to a prior Snapshot. It reuses
+// the board's baseline slice, so restoring allocates nothing.
+func (b *Board) Restore(s *BoardSnapshot) {
+	copy(b.lastE, s.lastE)
+	b.lastT = s.lastT
+}
+
 // SampleAll measures every channel's average power since the previous
 // sample through the full shunt -> amplifier -> ADC chain. The first
 // call after construction averages from board attach time.

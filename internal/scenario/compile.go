@@ -9,6 +9,7 @@ import (
 	"swallow/internal/harness/sweep"
 	"swallow/internal/metrics"
 	"swallow/internal/noc"
+	"swallow/internal/nos"
 	"swallow/internal/report"
 	"swallow/internal/sim"
 	"swallow/internal/topo"
@@ -264,15 +265,53 @@ func (c *Compiled) options(p point) core.Options {
 	return core.Options{Noc: &nocCfg, Core: &coreCfg}
 }
 
-// Run sweeps every point through sweep.Map, one pooled machine per
-// point, and collects the measurements in point order.
+// warmState is one sweep worker's cached boot prefix: a checked-out
+// machine plus the snapshot taken right after its network boot
+// completed. Points sharing a boot identity restore the snapshot and
+// retune instead of re-simulating the boot; the machine stays checked
+// out for the worker's lifetime and returns to the pool on close.
+type warmState struct {
+	key     string
+	m       *core.Machine
+	release func()
+	snap    *core.Snapshot
+}
+
+// drop returns the cached machine to the pool.
+func (ws *warmState) drop() {
+	if ws.m != nil {
+		ws.release()
+		ws.key, ws.m, ws.release, ws.snap = "", nil, nil, nil
+	}
+}
+
+func (ws *warmState) close() { ws.drop() }
+
+// Run sweeps every point, one pooled machine per point, and collects
+// the measurements in point order. Boot scenarios run through
+// sweep.MapWarm when warm starts are enabled, so each worker
+// simulates the boot prefix once and restores a snapshot per point;
+// results are byte-identical to the cold path either way.
 func (c *Compiled) Run(cfg harness.Config) (*Result, error) {
 	axes, err := c.axesFor(cfg)
 	if err != nil {
 		return nil, err
 	}
-	points, err := sweep.Map(enumerate(axes), func(_ int, p point) (Point, error) {
-		return c.runPoint(p)
+	pts := enumerate(axes)
+	if c.Spec.Workload.Boot && core.WarmStartEnabled() {
+		points, err := sweep.MapWarm(pts,
+			func() (*warmState, error) { return &warmState{}, nil },
+			(*warmState).close,
+			func(_ int, p point, ws *warmState) (Point, error) {
+				return c.runPoint(p, ws)
+			})
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Points: points}, nil
+	}
+	points, err := sweep.Map(pts, func(_ int, p point) (Point, error) {
+		return c.runPoint(p, nil)
 	})
 	if err != nil {
 		return nil, err
@@ -282,7 +321,7 @@ func (c *Compiled) Run(cfg harness.Config) (*Result, error) {
 
 // runPoint resolves the point's workload (base plus variant
 // overrides) and dispatches on the structure.
-func (c *Compiled) runPoint(p point) (Point, error) {
+func (c *Compiled) runPoint(p point, ws *warmState) (Point, error) {
 	w := c.Spec.Workload
 	flows := w.Flows
 	a, b := w.A, w.B
@@ -321,7 +360,7 @@ func (c *Compiled) runPoint(p point) (Point, error) {
 		if err != nil {
 			return Point{}, err
 		}
-		return c.runProgram(p, ids, items, rounds)
+		return c.runProgram(p, ids, items, rounds, ws)
 	}
 }
 
@@ -463,19 +502,20 @@ func (c *Compiled) runPing(p point, aRef, bRef NodeRef, rounds int) (Point, erro
 	return pt, nil
 }
 
-// runProgram loads one of the assembled program structures, runs it
-// to completion, verifies its result (a wrong answer must fail the
-// run, not get billed), and accounts time and energy over the
-// placement's nodes.
-func (c *Compiled) runProgram(p point, nodes []topo.NodeID, items, rounds int) (Point, error) {
-	pt := Point{Label: p.label, IntValue: p.intVal}
-	m, release, err := core.Checkout(c.Spec.Grid.SlicesX, c.Spec.Grid.SlicesY, c.options(p))
-	if err != nil {
-		return pt, err
-	}
-	defer release()
+// progAt is one placed task image.
+type progAt struct {
+	node topo.NodeID
+	prog *xs1.Program
+}
+
+// programsFor builds a program structure's task images in load order —
+// receivers before senders, so loading or network-booting in list
+// order never wedges on a not-yet-resident peer — plus the
+// verification closure the finished run must pass (a wrong answer
+// must fail the run, not get billed).
+func (c *Compiled) programsFor(p point, nodes []topo.NodeID, items, rounds int) ([]progAt, func(m *core.Machine) error, error) {
 	chan0 := func(n topo.NodeID) noc.ChanEndID { return noc.MakeChanEndID(uint16(n), 0) }
-	checkTrace := func(n topo.NodeID, want uint32, what string) error {
+	checkTrace := func(m *core.Machine, n topo.NodeID, want uint32, what string) error {
 		trace := m.Core(n).DebugTrace
 		if len(trace) != 1 || trace[0] != want {
 			return fmt.Errorf("%s: %s %v = %v, want [%d]", p.label, what, n, trace, want)
@@ -484,83 +524,151 @@ func (c *Compiled) runProgram(p point, nodes []topo.NodeID, items, rounds int) (
 	}
 	switch c.Spec.Workload.Structure {
 	case "pipeline":
-		pt.Items = items
 		last := len(nodes) - 1
-		if err := m.Load(nodes[last], workload.PipelineSink(items)); err != nil {
-			return pt, err
-		}
+		progs := []progAt{{nodes[last], workload.PipelineSink(items)}}
 		for i := last - 1; i >= 1; i-- {
-			if err := m.Load(nodes[i], workload.PipelineStage(chan0(nodes[i+1]), items, 1)); err != nil {
-				return pt, err
-			}
+			progs = append(progs, progAt{nodes[i], workload.PipelineStage(chan0(nodes[i+1]), items, 1)})
 		}
-		if err := m.Load(nodes[0], workload.PipelineSource(chan0(nodes[1]), items)); err != nil {
-			return pt, err
-		}
-		if err := m.Run(2 * sim.Second); err != nil {
-			return pt, specFault(p.label, err)
-		}
+		progs = append(progs, progAt{nodes[0], workload.PipelineSource(chan0(nodes[1]), items)})
 		stages := len(nodes) - 2
 		want := uint32(items*(items-1)/2 + stages*items)
-		if err := checkTrace(nodes[last], want, "sink sum"); err != nil {
-			return pt, err
-		}
+		return progs, func(m *core.Machine) error {
+			return checkTrace(m, nodes[last], want, "sink sum")
+		}, nil
 	case "ring":
-		for i, nd := range nodes {
-			next := chan0(nodes[(i+1)%len(nodes)])
-			var prog *xs1.Program
-			if i == 0 {
-				prog = workload.RingInjector(next)
-			} else {
-				prog = workload.RingRelay(next)
-			}
-			if err := m.Load(nd, prog); err != nil {
-				return pt, err
-			}
+		// Relays first, injector last: the injector transmits as soon as
+		// it runs.
+		var progs []progAt
+		for i := len(nodes) - 1; i >= 1; i-- {
+			progs = append(progs, progAt{nodes[i], workload.RingRelay(chan0(nodes[(i+1)%len(nodes)]))})
 		}
-		if err := m.Run(2 * sim.Second); err != nil {
-			return pt, specFault(p.label, err)
-		}
-		if err := checkTrace(nodes[0], uint32(len(nodes)-1), "ring token"); err != nil {
-			return pt, err
-		}
+		progs = append(progs, progAt{nodes[0], workload.RingInjector(chan0(nodes[1%len(nodes)]))})
+		return progs, func(m *core.Machine) error {
+			return checkTrace(m, nodes[0], uint32(len(nodes)-1), "ring token")
+		}, nil
 	case "farm":
-		pt.Items = items
 		server, clients := nodes[0], nodes[1:]
-		if err := m.Load(server, workload.ServerProgram(items*len(clients))); err != nil {
-			return pt, err
-		}
+		progs := []progAt{{server, workload.ServerProgram(items * len(clients))}}
 		for _, nd := range clients {
-			if err := m.Load(nd, workload.ClientProgram(chan0(server), items)); err != nil {
-				return pt, err
+			progs = append(progs, progAt{nd, workload.ClientProgram(chan0(server), items)})
+		}
+		return progs, func(m *core.Machine) error {
+			for _, nd := range clients {
+				if err := checkTrace(m, nd, uint32(items), "client replies"); err != nil {
+					return err
+				}
 			}
-		}
-		if err := m.Run(2 * sim.Second); err != nil {
-			return pt, specFault(p.label, err)
-		}
-		for _, nd := range clients {
-			if err := checkTrace(nd, uint32(items), "client replies"); err != nil {
-				return pt, err
-			}
-		}
+			return nil
+		}, nil
 	case "group":
 		root, members := nodes[0], nodes[1:]
-		if err := m.Load(root, workload.BarrierRoot(len(members), rounds)); err != nil {
+		progs := []progAt{{root, workload.BarrierRoot(len(members), rounds)}}
+		for _, nd := range members {
+			progs = append(progs, progAt{nd, workload.BarrierMember(chan0(root), rounds)})
+		}
+		return progs, func(m *core.Machine) error {
+			for _, nd := range members {
+				if err := checkTrace(m, nd, uint32(rounds), "member releases"); err != nil {
+					return err
+				}
+			}
+			return nil
+		}, nil
+	}
+	return nil, nil, badf("%s: structure %q has no programs", p.label, c.Spec.Workload.Structure)
+}
+
+// bridgeNode is where boot images enter the machine: the Ethernet
+// bridge's attachment on the grid's South edge.
+func (c *Compiled) bridgeNode() topo.NodeID {
+	return topo.MakeNodeID(0, c.Spec.Grid.SlicesY*topo.PackagesPerSliceY-1, topo.LayerV)
+}
+
+// bootedMachine returns a machine whose task images were network-
+// booted at the spec's base operating point. With a warm state whose
+// cached boot identity matches, the post-boot snapshot is restored in
+// place of re-simulating the boot; on a miss the boot runs cold and
+// (when ws is non-nil) the machine and a fresh snapshot are cached.
+// The caller retunes to the point's operating point afterwards.
+func (c *Compiled) bootedMachine(p point, progs []progAt, nodes []topo.NodeID, items, rounds int, ws *warmState) (*core.Machine, func(), error) {
+	// Everything the post-boot state depends on except the operating
+	// point, which the caller retunes: structural links plus the values
+	// the task images derive from.
+	key := fmt.Sprintf("links=%d items=%d rounds=%d nodes=%v", p.links, items, rounds, nodes)
+	if ws != nil && ws.m != nil && ws.key == key {
+		ws.m.Restore(ws.snap)
+		return ws.m, func() {}, nil
+	}
+	base := p
+	base.freq = 0
+	m, release, err := core.Checkout(c.Spec.Grid.SlicesX, c.Spec.Grid.SlicesY, c.options(base))
+	if err != nil {
+		return nil, nil, err
+	}
+	br, err := m.Bridge(c.bridgeNode())
+	if err != nil {
+		release()
+		return nil, nil, err
+	}
+	var job nos.Job
+	for i, pa := range progs {
+		job.Add(fmt.Sprintf("task%d", i), pa.node, pa.prog)
+	}
+	if _, err := job.BootOverNetwork(m, br, sim.Second); err != nil {
+		release()
+		return nil, nil, specFault(p.label, err)
+	}
+	if ws == nil {
+		return m, release, nil
+	}
+	ws.drop()
+	ws.key, ws.m, ws.release, ws.snap = key, m, release, m.Snapshot()
+	return m, func() {}, nil
+}
+
+// runProgram places one of the assembled program structures — host
+// debug load, or nOS network boot for boot workloads — runs it to
+// completion, verifies its result, and accounts time and energy over
+// the placement's nodes.
+func (c *Compiled) runProgram(p point, nodes []topo.NodeID, items, rounds int, ws *warmState) (Point, error) {
+	pt := Point{Label: p.label, IntValue: p.intVal}
+	if st := c.Spec.Workload.Structure; st == "pipeline" || st == "farm" {
+		pt.Items = items
+	}
+	progs, verify, err := c.programsFor(p, nodes, items, rounds)
+	if err != nil {
+		return pt, err
+	}
+	var m *core.Machine
+	var release func()
+	if c.Spec.Workload.Boot {
+		m, release, err = c.bootedMachine(p, progs, nodes, items, rounds, ws)
+		if err != nil {
 			return pt, err
 		}
-		for _, nd := range members {
-			if err := m.Load(nd, workload.BarrierMember(chan0(root), rounds)); err != nil {
+		defer release()
+		// Boot ran at the base operating point; the point's sweep values
+		// apply from here (DFS after a common boot).
+		if err := m.Retune(c.options(p).OperatingPoint()); err != nil {
+			return pt, err
+		}
+	} else {
+		m, release, err = core.Checkout(c.Spec.Grid.SlicesX, c.Spec.Grid.SlicesY, c.options(p))
+		if err != nil {
+			return pt, err
+		}
+		defer release()
+		for _, pa := range progs {
+			if err := m.Load(pa.node, pa.prog); err != nil {
 				return pt, err
 			}
 		}
-		if err := m.Run(2 * sim.Second); err != nil {
-			return pt, specFault(p.label, err)
-		}
-		for _, nd := range members {
-			if err := checkTrace(nd, uint32(rounds), "member releases"); err != nil {
-				return pt, err
-			}
-		}
+	}
+	if err := m.Run(2 * sim.Second); err != nil {
+		return pt, specFault(p.label, err)
+	}
+	if err := verify(m); err != nil {
+		return pt, err
 	}
 	// End-to-end time: the last instruction issued anywhere in the
 	// structure (Run polls on a coarse grid, so m.K.Now() overshoots).

@@ -140,6 +140,16 @@ type Workload struct {
 	// Placement places pipeline stages, ring members, farm
 	// [server, clients...] or group [root, members...].
 	Placement *Placement `json:"placement,omitempty"`
+	// Boot loads the program structure by genuine nOS network boot
+	// through the Ethernet bridge instead of the host debug path: every
+	// task image is streamed over the simulated network at the spec's
+	// base operating point, the machine is then retuned to the point's
+	// operating point (modelling DFS after a common boot), and the
+	// structure runs. Boot applies to the program structures only. The
+	// boot prefix is identical for every point that shares the same
+	// images, which is what lets warm-start sweeps snapshot it once and
+	// restore per point.
+	Boot bool `json:"boot,omitempty"`
 }
 
 // Operating is the machine operating point a scenario runs at.
@@ -442,6 +452,10 @@ func (s Spec) Validate() error {
 	w := s.Workload
 	if _, ok := structures[w.Structure]; !ok {
 		return badf("workload.structure: unknown structure %q (have traffic, ping, pipeline, ring, farm, group)", w.Structure)
+	}
+	if w.Boot && w.Structure != "pipeline" && w.Structure != "ring" &&
+		w.Structure != "farm" && w.Structure != "group" {
+		return badf("workload.boot: network boot applies only to program structures, not %q", w.Structure)
 	}
 	if !measures[s.Measure][w.Structure] {
 		return badf("measure: %q does not apply to structure %q", s.Measure, w.Structure)

@@ -431,6 +431,9 @@ func TestHealthAndMetrics(t *testing.T) {
 		"swallow_cache_hits_total",
 		"swallow_cache_hit_ratio",
 		"swallow_queue_depth",
+		"swallow_snapshot_taken_total",
+		"swallow_snapshot_restores_total",
+		"swallow_snapshot_dirty_bytes_total",
 		`swallow_render_seconds_count{artifact="echo"}`,
 	} {
 		if !strings.Contains(metrics, want) {

@@ -94,6 +94,10 @@ func (m *metrics) write(w io.Writer, cs cache.Stats, queueDepth, queueCap int, p
 	fmt.Fprintf(w, "swallow_pool_evictions_total %d\n", ps.Evictions)
 	fmt.Fprintf(w, "swallow_pool_idle_machines %d\n", ps.Idle)
 	fmt.Fprintf(w, "swallow_pool_idle_bytes %d\n", ps.IdleBytes)
+	ss := core.ReadSnapshotStats()
+	fmt.Fprintf(w, "swallow_snapshot_taken_total %d\n", ss.Taken)
+	fmt.Fprintf(w, "swallow_snapshot_restores_total %d\n", ss.Restores)
+	fmt.Fprintf(w, "swallow_snapshot_dirty_bytes_total %d\n", ss.DirtyBytes)
 	names := make([]string, 0, len(m.renders))
 	for name := range m.renders {
 		names = append(names, name)

@@ -362,25 +362,7 @@ func (k *Kernel) Step() bool {
 // build-once / reset-many machine lifecycle; it must not be called
 // from inside a running event callback.
 func (k *Kernel) Reset() {
-	disarm := func(bucket []slot) {
-		for i := range bucket {
-			if s := bucket[i]; s.ev != nil && s.live() {
-				s.ev.armed = false
-			}
-		}
-	}
-	disarm(k.cur[k.curHead:])
-	clear(k.cur)
-	k.cur = k.cur[:0]
-	k.curHead = 0
-	for b := range k.wheel {
-		disarm(k.wheel[b])
-		clear(k.wheel[b])
-		k.wheel[b] = k.wheel[b][:0]
-	}
-	disarm(k.overflow)
-	clear(k.overflow)
-	k.overflow = k.overflow[:0]
+	k.drainQueues()
 	k.now, k.seq, k.fired = 0, 0, 0
 	k.halted = false
 	k.wheelPos, k.wheelTime = 0, 0

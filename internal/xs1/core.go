@@ -98,7 +98,14 @@ type Core struct {
 	cfg  Config
 	clk  sim.Clock
 
-	mem     []byte
+	mem []byte
+	// memGen/pageGen drive snapshot dirty tracking (see snapshot.go):
+	// every SRAM write stamps its page with the current generation;
+	// Snapshot bumps the generation, so Restore copies back only pages
+	// stamped after the snapshot it rewinds to.
+	memGen  uint64
+	pageGen [numPages]uint64
+
 	threads [MaxThreads]Thread
 	// rr is the round-robin issue order of thread IDs.
 	rr []int
@@ -190,6 +197,7 @@ func (c *Core) Reset() {
 	c.issueTimer.Disarm()
 	c.resetThreads()
 	clear(c.mem)
+	c.touchAll()
 	c.timerAlloc = [MaxThreads]bool{}
 	c.accrualStart = c.k.Now()
 	c.accruedJ, c.dynamicJ = 0, 0
@@ -267,6 +275,7 @@ func (c *Core) Load(p *Program) error {
 	for i, w := range p.Words {
 		binary.LittleEndian.PutUint32(c.mem[i*4:], w)
 	}
+	c.touchAll()
 	c.resetThreads()
 	c.DebugTrace = nil
 	c.Console = nil
@@ -295,6 +304,7 @@ func (c *Core) LoadAt(p *Program, byteBase uint32) error {
 	for i, w := range p.Words {
 		binary.LittleEndian.PutUint32(c.mem[byteBase+uint32(i*4):], w)
 	}
+	c.touchRange(byteBase, p.ByteLen())
 	c.resetThreads()
 	c.halted = false
 	t0 := &c.threads[0]
@@ -481,6 +491,7 @@ func (c *Core) storeWord(addr, v uint32) error {
 		return fmt.Errorf("bad word store at %#x", addr)
 	}
 	binary.LittleEndian.PutUint32(c.mem[addr:], v)
+	c.touch(addr)
 	return nil
 }
 
@@ -496,6 +507,7 @@ func (c *Core) WriteBytes(addr uint32, data []byte) error {
 		return fmt.Errorf("bad byte store at %#x", addr)
 	}
 	copy(c.mem[addr:], data)
+	c.touchRange(addr, len(data))
 	return nil
 }
 

@@ -201,6 +201,7 @@ func (c *Core) execute(th *Thread) {
 			return
 		}
 		c.mem[addr] = byte(r[in.A])
+		c.touch(addr)
 		charge()
 	case OpLD16S:
 		addr := r[in.B] + r[in.C]*2
@@ -219,6 +220,7 @@ func (c *Core) execute(th *Thread) {
 		}
 		c.mem[addr] = byte(r[in.A])
 		c.mem[addr+1] = byte(r[in.A] >> 8)
+		c.touch(addr)
 		charge()
 
 	case OpBRU:

@@ -1,0 +1,126 @@
+package xs1
+
+import (
+	"swallow/internal/energy"
+	"swallow/internal/sim"
+)
+
+// SRAM dirty tracking: the 64 KiB bank is divided into 4 KiB pages,
+// each stamped with the core's write generation on every store. A
+// snapshot records the generation it was taken at; restore copies back
+// only pages stamped newer than that, so rewinding a core whose SRAM
+// was never touched after the snapshot costs nothing. Generations are
+// monotone for the core's lifetime (Reset does not rewind them), which
+// keeps any number of outstanding snapshots valid: a page equal to its
+// state in snapshot S is exactly a page never stamped after S's
+// generation.
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+	numPages  = MemSize >> pageShift
+)
+
+// touch stamps the page holding addr. Aligned word and halfword
+// stores cannot cross a page, so one stamp covers every ISA store.
+func (c *Core) touch(addr uint32) { c.pageGen[addr>>pageShift] = c.memGen }
+
+// touchRange stamps every page overlapping [addr, addr+n).
+func (c *Core) touchRange(addr uint32, n int) {
+	if n <= 0 {
+		return
+	}
+	for p := addr >> pageShift; p <= (addr+uint32(n)-1)>>pageShift; p++ {
+		c.pageGen[p] = c.memGen
+	}
+}
+
+// touchAll stamps the whole bank (Load/Reset clear it wholesale).
+func (c *Core) touchAll() {
+	for p := range c.pageGen {
+		c.pageGen[p] = c.memGen
+	}
+}
+
+// CoreSnapshot is a point-in-time capture of one core: operating
+// point, full SRAM image, thread contexts, issue order, resource
+// allocation and every counter. Timer registrations (issue, TWAIT) are
+// kernel state and are captured by the kernel's own snapshot; Restore
+// here copies only plain component state.
+type CoreSnapshot struct {
+	gen          uint64
+	cfg          Config
+	mem          []byte
+	threads      [MaxThreads]Thread
+	rr           []int
+	timerAlloc   [MaxThreads]bool
+	accrualStart sim.Time
+	accruedJ     float64
+	dynamicJ     float64
+	instrCount   uint64
+	classCounts  [energy.NumInstrClasses]uint64
+	idleSlots    uint64
+	lastIssue    sim.Time
+	debugTrace   []uint32
+	console      []byte
+	halted       bool
+}
+
+// Snapshot captures the core's current state. The SRAM image is a full
+// copy (snapshots are taken once per shared prefix; restores are the
+// hot path).
+func (c *Core) Snapshot() *CoreSnapshot {
+	s := &CoreSnapshot{
+		gen:          c.memGen,
+		cfg:          c.cfg,
+		mem:          append([]byte(nil), c.mem...),
+		threads:      c.threads,
+		rr:           append([]int(nil), c.rr...),
+		timerAlloc:   c.timerAlloc,
+		accrualStart: c.accrualStart,
+		accruedJ:     c.accruedJ,
+		dynamicJ:     c.dynamicJ,
+		instrCount:   c.InstrCount,
+		classCounts:  c.ClassCounts,
+		idleSlots:    c.IdleSlots,
+		lastIssue:    c.LastIssue,
+		debugTrace:   append([]uint32(nil), c.DebugTrace...),
+		console:      append([]byte(nil), c.Console...),
+		halted:       c.halted,
+	}
+	// Writes after this point must stamp newer than s.gen.
+	c.memGen++
+	return s
+}
+
+// Restore rewinds the core to a prior Snapshot, copying back only the
+// SRAM pages written since, and reports the bytes copied. It reuses
+// the core's existing slice capacity, so restoring allocates nothing
+// beyond (at most) first-time slice growth.
+func (c *Core) Restore(s *CoreSnapshot) int {
+	dirty := 0
+	for p := 0; p < numPages; p++ {
+		if c.pageGen[p] > s.gen {
+			off := p << pageShift
+			copy(c.mem[off:off+pageSize], s.mem[off:off+pageSize])
+			c.pageGen[p] = c.memGen
+			dirty += pageSize
+		}
+	}
+	c.memGen++
+	c.cfg = s.cfg
+	c.clk = sim.NewClock(s.cfg.FreqMHz)
+	c.threads = s.threads
+	c.rr = append(c.rr[:0], s.rr...)
+	c.timerAlloc = s.timerAlloc
+	c.accrualStart = s.accrualStart
+	c.accruedJ = s.accruedJ
+	c.dynamicJ = s.dynamicJ
+	c.InstrCount = s.instrCount
+	c.ClassCounts = s.classCounts
+	c.IdleSlots = s.idleSlots
+	c.LastIssue = s.lastIssue
+	c.DebugTrace = append(c.DebugTrace[:0], s.debugTrace...)
+	c.Console = append(c.Console[:0], s.console...)
+	c.halted = s.halted
+	return dirty
+}
