@@ -197,6 +197,50 @@ func BenchmarkSnapshotRestore(b *testing.B) {
 	}
 }
 
+// BenchmarkTurbo isolates the execution fast path: a 16-core slice
+// running the paper's heavy-load mix, timed with the predecoded
+// instruction cache + batched issue loop on and with the
+// one-instruction-per-event slow path. ns/instr is the headline
+// number BENCH_turbo.json tracks; the on/off ratio is the fast
+// path's gain with output held bit-identical.
+func BenchmarkTurbo(b *testing.B) {
+	prevTurbo := experiments.Turbo()
+	defer experiments.SetTurbo(prevTurbo)
+	prog := workload.HeavyLoad(4, 50_000_000) // never quiesces in-bench
+	for _, mode := range []struct {
+		name string
+		on   bool
+	}{{"on", true}, {"off", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			experiments.SetTurbo(mode.on)
+			m, err := core.New(1, 1, core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := m.LoadAll(prog); err != nil {
+				b.Fatal(err)
+			}
+			countInstrs := func() uint64 {
+				var n uint64
+				for _, c := range m.Cores() {
+					n += c.InstrCount
+				}
+				return n
+			}
+			m.RunFor(10 * sim.Microsecond) // warm caches and queues
+			start := countInstrs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.RunFor(100 * sim.Microsecond)
+			}
+			b.StopTimer()
+			if n := countInstrs() - start; n > 0 {
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(n), "ns/instr")
+			}
+		})
+	}
+}
+
 // BenchmarkScenarioCompile times the declarative layer's fixed
 // overhead: parsing a canonical spec from JSON, validating it,
 // deriving its content hash and lowering it to an artifact — the

@@ -57,6 +57,7 @@ func main() {
 	cacheTTL := flag.Duration("cache-ttl", 0, "result cache entry lifetime (0 = never expire)")
 	pool := flag.Bool("pool", true, "reuse machines across sweep points (output is identical either way)")
 	warm := flag.Bool("warm-start", true, "restore pooled machines and boot prefixes from snapshots (output is identical either way)")
+	turbo := flag.Bool("turbo", true, "predecoded-instruction-cache + batched-issue fast path (output is identical either way)")
 	poolMaxMB := flag.Int64("pool-max-mb", 256, "idle machine pool byte budget, MiB (0 = unbounded); submitted scenarios on big grids cannot park memory past it")
 	drain := flag.Duration("drain", time.Minute, "graceful shutdown budget for in-flight requests")
 	flag.Parse()
@@ -67,6 +68,7 @@ func main() {
 	sweep.SetConcurrency(*par)
 	experiments.SetPooling(*pool)
 	experiments.SetWarmStart(*warm)
+	experiments.SetTurbo(*turbo)
 	core.SharedPool().SetLimit(0, *poolMaxMB<<20)
 
 	opts := api.Options{

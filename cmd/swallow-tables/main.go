@@ -20,7 +20,8 @@
 // Usage:
 //
 //	swallow-tables [-quick] [-only regexp] [-list] [-json]
-//	               [-par N | -seq] [-pool=false]
+//	               [-par N | -seq] [-pool=false] [-warm-start=false]
+//	               [-turbo=false] [-cpuprofile f] [-memprofile f]
 //	               [-scenario spec.json[,spec2.json...]]
 package main
 
@@ -32,6 +33,7 @@ import (
 	"os"
 	"regexp"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -62,10 +64,38 @@ func main() {
 	seq := flag.Bool("seq", false, "run sweeps serially (same as -par 1)")
 	pool := flag.Bool("pool", true, "reuse machines across sweep points (output is identical either way)")
 	warm := flag.Bool("warm-start", true, "restore pooled machines and boot prefixes from snapshots (output is identical either way)")
+	turbo := flag.Bool("turbo", true, "predecoded-instruction-cache + batched-issue fast path (output is identical either way)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	scenarios := flag.String("scenario", "", "comma-separated scenario spec files to compile and render instead of the registry")
 	flag.Parse()
 	experiments.SetPooling(*pool)
 	experiments.SetWarmStart(*warm)
+	experiments.SetTurbo(*turbo)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	if *list {
 		width := 0

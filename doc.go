@@ -83,4 +83,19 @@
 // Kernel.Reset drains and rewinds a kernel in place, which is what
 // makes the reset-many lifecycle above possible. See internal/sim and
 // README.md for the Timer contract.
+//
+// # Execution fast path
+//
+// internal/xs1/turbo.go removes the steady-state per-instruction cost:
+// a predecoded instruction cache (per-page side tables validated by
+// the same per-4KiB-page generation stamps that drive snapshot dirty
+// tracking, so stores and restores invalidate for free) and a batched
+// run-to-horizon issue loop (all cores on a kernel co-batch, stepping
+// kernel time per instruction and absorbing sibling issue events,
+// until the next foreign event, communication instruction, ready-set
+// change, deadline or batch cap). The contract: turbo is
+// step-by-step — batching never changes architectural state at any
+// foreign-event boundary. On by default; -turbo=false on both drivers
+// falls back to one instruction per kernel event, byte-identical
+// output either way. BENCH_turbo.json holds the committed baseline.
 package swallow

@@ -183,6 +183,10 @@ func New(slicesX, slicesY int, opts Options) (*Machine, error) {
 		}
 		m.cores[node] = c
 	}
+	// One batching group per machine: the execution fast path absorbs
+	// sibling cores' issue events so lockstep machines batch across
+	// cores instead of stopping at every same-cycle neighbour.
+	xs1.GroupTurbo(m.Cores())
 	if err := m.buildPowerTree(); err != nil {
 		return nil, err
 	}
@@ -349,7 +353,7 @@ func (m *Machine) Run(horizon sim.Time) error {
 		step = sim.Microsecond
 	}
 	for m.K.Now() < deadline {
-		m.K.RunFor(step)
+		m.RunFor(step)
 		done := true
 		for _, node := range m.nodes {
 			c := m.cores[node]
@@ -368,7 +372,14 @@ func (m *Machine) Run(horizon sim.Time) error {
 }
 
 // RunFor advances simulation by d without completion checks.
-func (m *Machine) RunFor(d sim.Time) { m.K.RunFor(d) }
+func (m *Machine) RunFor(d sim.Time) {
+	m.K.RunFor(d)
+	// Fold the cores' fast-path counters into the process-wide totals
+	// here, at the run boundary, keeping atomics off the issue loop.
+	for _, node := range m.nodes {
+		m.cores[node].FlushTurboStats()
+	}
+}
 
 // TotalCoreEnergyJ sums processor energy across the machine in
 // deterministic node order (float sums must not depend on map order,

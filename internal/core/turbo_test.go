@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"swallow/internal/sim"
+	"swallow/internal/topo"
+	"swallow/internal/workload"
+	"swallow/internal/xs1"
+)
+
+// turboCut is everything the kernel and cores expose at one RunFor
+// boundary: the architectural state the turbo contract pins. Seq,
+// Fired and Pending catch any batching scheme that reorders or
+// swallows events even when the visible counters happen to agree.
+type turboCut struct {
+	fp                  string
+	now                 sim.Time
+	seq, fired          uint64
+	pending             int
+	batches, instrs     uint64
+	decodeHits, decodeM uint64
+}
+
+// runSchedule builds a fresh machine, loads the mixed workload
+// (three-stage comm pipeline plus a four-thread compute-heavy core)
+// and runs the given RunFor schedule, recording a cut after every
+// segment.
+func runSchedule(t *testing.T, schedule []sim.Time) []turboCut {
+	t.Helper()
+	m := MustNew(1, 1, Options{})
+	loadPipeline(t, m, 64)
+	heavy := topo.MakeNodeID(1, 1, topo.LayerV)
+	if err := m.Load(heavy, workload.HeavyLoad(4, 40)); err != nil {
+		t.Fatal(err)
+	}
+	cuts := make([]turboCut, 0, len(schedule))
+	for _, d := range schedule {
+		m.RunFor(d)
+		ts := xs1.ReadTurboStats()
+		cuts = append(cuts, turboCut{
+			fp:         fingerprint(m),
+			now:        m.K.Now(),
+			seq:        m.K.Seq(),
+			fired:      m.K.Fired(),
+			pending:    m.K.Pending(),
+			batches:    ts.Batches,
+			instrs:     ts.BatchedInstrs,
+			decodeHits: ts.DecodeHits,
+			decodeM:    ts.DecodeMisses,
+		})
+	}
+	return cuts
+}
+
+// TestTurboRandomizedDifferential runs the same randomized RunFor
+// schedule through the slow one-instruction-per-event path and the
+// batched turbo path on twin machines and requires identical core
+// fingerprints and identical kernel (time, seq) accounting — Now,
+// Seq, Fired, Pending — at every boundary. The cut points are
+// arbitrary relative to the workload, so each one lands the batch
+// loop at a different foreign-event horizon: sibling-core issue
+// ties, comm instructions, thread sleeps and RunFor deadlines all
+// get exercised as batch exits.
+func TestTurboRandomizedDifferential(t *testing.T) {
+	defer xs1.SetTurbo(true)
+
+	rng := rand.New(rand.NewSource(0x5eed70b0))
+	const segments = 40
+	schedule := make([]sim.Time, segments)
+	for i := range schedule {
+		// 1ps .. ~8µs, log-ish spread so some cuts land mid-batch
+		// after a handful of picoseconds and others span thousands
+		// of instructions.
+		schedule[i] = sim.Time(1 + rng.Int63n(1<<uint(3+rng.Intn(21))))
+	}
+
+	xs1.SetTurbo(false)
+	slow := runSchedule(t, schedule)
+	xs1.SetTurbo(true)
+	fast := runSchedule(t, schedule)
+
+	turboBatches := fast[len(fast)-1].batches - slow[len(slow)-1].batches
+	if turboBatches == 0 {
+		t.Fatal("turbo run recorded no batches; fast path not exercised")
+	}
+	for i := range schedule {
+		s, f := slow[i], fast[i]
+		if s.now != f.now || s.seq != f.seq || s.fired != f.fired || s.pending != f.pending {
+			t.Fatalf("cut %d (after RunFor(%d)): kernel accounting diverged\n slow now=%d seq=%d fired=%d pending=%d\nturbo now=%d seq=%d fired=%d pending=%d",
+				i, schedule[i], s.now, s.seq, s.fired, s.pending, f.now, f.seq, f.fired, f.pending)
+		}
+		if s.fp != f.fp {
+			t.Fatalf("cut %d (after RunFor(%d), now=%d): fingerprint diverged\n slow %s\nturbo %s",
+				i, schedule[i], s.now, s.fp, f.fp)
+		}
+	}
+}
+
+// TestTurboToggle pins the wiring: SetTurbo flips TurboEnabled and
+// the default is on.
+func TestTurboToggle(t *testing.T) {
+	defer xs1.SetTurbo(true)
+	if !xs1.TurboEnabled() {
+		t.Fatal("turbo must default on")
+	}
+	xs1.SetTurbo(false)
+	if xs1.TurboEnabled() {
+		t.Fatal("SetTurbo(false) did not disable")
+	}
+	xs1.SetTurbo(true)
+	if !xs1.TurboEnabled() {
+		t.Fatal("SetTurbo(true) did not re-enable")
+	}
+}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"swallow/internal/core"
+	"swallow/internal/xs1"
 )
 
 // The experiment inner loops churn through (kernel, machine) pairs:
@@ -34,6 +35,18 @@ func SetWarmStart(on bool) { core.SetWarmStart(on) }
 
 // WarmStart reports whether warm starts are in effect.
 func WarmStart() bool { return core.WarmStartEnabled() }
+
+// SetTurbo toggles the execution fast path (predecoded instruction
+// cache plus batched run-to-horizon issue). Output is identical either
+// way; off executes one instruction per kernel event, the pre-turbo
+// loop (held by TestTurboMatchesSlowPathGolden).
+func SetTurbo(on bool) { xs1.SetTurbo(on) }
+
+// Turbo reports whether the execution fast path is in effect.
+func Turbo() bool { return xs1.TurboEnabled() }
+
+// TurboStats snapshots the process-wide fast-path counters.
+func TurboStats() xs1.TurboStats { return xs1.ReadTurboStats() }
 
 // SnapshotStats snapshots the process-wide snapshot/restore counters.
 func SnapshotStats() core.SnapshotStats { return core.ReadSnapshotStats() }

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"swallow/internal/harness"
+	"swallow/internal/harness/sweep"
+)
+
+// TestTurboMatchesSlowPathGolden is the fast-path determinism contract
+// at the artifact level: for every registered artifact, a run with
+// turbo enabled (predecoded instruction cache plus batched
+// run-to-horizon issue) must render byte-identical to a run with turbo
+// off — the one-instruction-per-event loop — across every lifecycle
+// mode that changes how machines are built and scheduled: pooled and
+// fresh builds, serial and parallel sweeps, warm starts on and off.
+func TestTurboMatchesSlowPathGolden(t *testing.T) {
+	cfg := harness.QuickConfig()
+	prevConc := sweep.Concurrency()
+	defer sweep.SetConcurrency(prevConc)
+	defer SetPooling(true)
+	defer SetWarmStart(true)
+	defer SetTurbo(true)
+
+	runRegistry := func(label string) map[string]string {
+		out := make(map[string]string)
+		for _, a := range harness.Artifacts() {
+			tbl, err := a.Table(cfg)
+			if err != nil {
+				t.Fatalf("%s (%s): %v", a.Name, label, err)
+			}
+			out[a.Name] = tbl.String()
+		}
+		return out
+	}
+
+	// One slow-path reference per lifecycle mode, diffed against the
+	// turbo run of the same mode.
+	batches := TurboStats().Batches
+	for _, pooled := range []bool{true, false} {
+		for _, conc := range []int{1, 8} {
+			for _, warm := range []bool{true, false} {
+				SetPooling(pooled)
+				sweep.SetConcurrency(conc)
+				SetWarmStart(warm)
+				mode := fmt.Sprintf("pooled=%v conc=%d warm=%v", pooled, conc, warm)
+
+				SetTurbo(false)
+				slow := runRegistry("turbo off, " + mode)
+				SetTurbo(true)
+				fast := runRegistry("turbo on, " + mode)
+
+				for _, a := range harness.Artifacts() {
+					if fast[a.Name] != slow[a.Name] {
+						t.Errorf("%s (%s): turbo output diverges.\n--- turbo off ---\n%s\n--- turbo on ---\n%s",
+							a.Name, mode, slow[a.Name], fast[a.Name])
+					}
+				}
+			}
+		}
+	}
+	if got := TurboStats().Batches; got == batches {
+		t.Errorf("turbo passes recorded no batches (stats %+v)", TurboStats())
+	}
+}

@@ -434,6 +434,11 @@ func TestHealthAndMetrics(t *testing.T) {
 		"swallow_snapshot_taken_total",
 		"swallow_snapshot_restores_total",
 		"swallow_snapshot_dirty_bytes_total",
+		"swallow_turbo_batches_total",
+		"swallow_turbo_batched_instrs_total",
+		"swallow_turbo_decode_hits_total",
+		"swallow_turbo_decode_misses_total",
+		"swallow_turbo_decode_invalidated_total",
 		`swallow_render_seconds_count{artifact="echo"}`,
 	} {
 		if !strings.Contains(metrics, want) {

@@ -9,6 +9,7 @@ import (
 
 	"swallow/internal/core"
 	"swallow/internal/service/cache"
+	"swallow/internal/xs1"
 )
 
 // latAgg aggregates render latency for one artifact.
@@ -98,6 +99,12 @@ func (m *metrics) write(w io.Writer, cs cache.Stats, queueDepth, queueCap int, p
 	fmt.Fprintf(w, "swallow_snapshot_taken_total %d\n", ss.Taken)
 	fmt.Fprintf(w, "swallow_snapshot_restores_total %d\n", ss.Restores)
 	fmt.Fprintf(w, "swallow_snapshot_dirty_bytes_total %d\n", ss.DirtyBytes)
+	ts := xs1.ReadTurboStats()
+	fmt.Fprintf(w, "swallow_turbo_batches_total %d\n", ts.Batches)
+	fmt.Fprintf(w, "swallow_turbo_batched_instrs_total %d\n", ts.BatchedInstrs)
+	fmt.Fprintf(w, "swallow_turbo_decode_hits_total %d\n", ts.DecodeHits)
+	fmt.Fprintf(w, "swallow_turbo_decode_misses_total %d\n", ts.DecodeMisses)
+	fmt.Fprintf(w, "swallow_turbo_decode_invalidated_total %d\n", ts.DecodeStale)
 	names := make([]string, 0, len(m.renders))
 	for name := range m.renders {
 		names = append(names, name)

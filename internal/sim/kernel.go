@@ -110,6 +110,18 @@ type Kernel struct {
 	liveNear int
 	liveFar  int
 
+	// deadline is the active RunUntil bound, exposed to batched
+	// executors (Deadline) so a fast path never advances the clock past
+	// the point the driver will observe. Valid only while hasDeadline.
+	deadline    Time
+	hasDeadline bool
+	// nextHint caches the earliest pending timestamp across both tiers,
+	// computed for free while firing an event (the pop already
+	// positioned curHead). Valid only during the fire, and only when
+	// hasNextHint; NextForeign falls back to a full peek otherwise.
+	nextHint    Time
+	hasNextHint bool
+
 	// quantumShift/quantum/wheelSpan fix the near-tier geometry for the
 	// kernel's lifetime (set once in NewKernel).
 	quantumShift uint
@@ -152,8 +164,16 @@ func (k *Kernel) WheelSpan() Time { return k.wheelSpan }
 // Now reports the current simulation time.
 func (k *Kernel) Now() Time { return k.now }
 
-// Fired reports the number of events executed so far.
+// Fired reports the number of events executed so far. StepTo's
+// synthetic firings count, so a batched run reports the same total as
+// the equivalent event-by-event run.
 func (k *Kernel) Fired() uint64 { return k.fired }
+
+// Seq reports the number of registrations consumed so far (the next
+// registration's sequence number). Like Fired it is held in lockstep
+// between batched and event-by-event execution: StepTo consumes one
+// seq per synthetic slot, exactly as the arm it replaces would have.
+func (k *Kernel) Seq() uint64 { return k.seq }
 
 // Pending reports the number of events waiting in the queue.
 func (k *Kernel) Pending() int { return k.liveNear + k.liveFar }
@@ -340,6 +360,35 @@ func (k *Kernel) peekWhen() (Time, bool) {
 // completes. Pending events remain queued.
 func (k *Kernel) Halt() { k.halted = true }
 
+// fireSlot advances the clock to s and runs its callback. Before the
+// callback it publishes the next pending timestamp as a hint when the
+// pop left it in view (live head of the current bucket, live heap
+// top), which lets NextForeign answer in O(1) from inside the firing
+// event instead of re-scanning the wheel.
+func (k *Kernel) fireSlot(s slot) {
+	k.now = s.when
+	k.fired++
+	if k.curHead < len(k.cur) && k.cur[k.curHead].live() {
+		t := k.cur[k.curHead].when
+		known := true
+		if len(k.overflow) > 0 {
+			if f := &k.overflow[0]; f.live() {
+				if f.when < t {
+					t = f.when
+				}
+			} else {
+				// A stale heap top hides the far tier's true minimum.
+				known = false
+			}
+		}
+		if known {
+			k.nextHint, k.hasNextHint = t, true
+		}
+	}
+	s.ev.fire()
+	k.hasNextHint = false
+}
+
 // Step executes the single next event, advancing the clock to its
 // timestamp. It reports false when the queue is empty.
 func (k *Kernel) Step() bool {
@@ -347,10 +396,144 @@ func (k *Kernel) Step() bool {
 	if !ok {
 		return false
 	}
-	k.now = s.when
-	k.fired++
-	s.ev.fire()
+	k.fireSlot(s)
 	return true
+}
+
+// stepDue pops and fires the earliest event if it is due at or before
+// deadline, in one pass over the queue heads (RunUntil formerly peeked
+// and then popped, scanning the wheel twice per event). It reports
+// false when nothing is due.
+func (k *Kernel) stepDue(deadline Time) bool {
+	for {
+		near := k.advanceNear()
+		k.pruneOverflow()
+		far := len(k.overflow) > 0
+		if near {
+			s := k.cur[k.curHead]
+			if far && k.overflow[0].before(s) {
+				if k.overflow[0].when > deadline {
+					return false
+				}
+				s = k.heapPop()
+				s.ev.armed = false
+				k.liveFar--
+			} else {
+				if s.when > deadline {
+					return false
+				}
+				k.cur[k.curHead] = slot{}
+				k.curHead++
+				s.ev.armed = false
+				k.liveNear--
+			}
+			k.fireSlot(s)
+			return true
+		}
+		if !far || k.overflow[0].when > deadline {
+			return false
+		}
+		k.rebase()
+	}
+}
+
+// NextForeign reports the timestamp of the earliest pending event —
+// the horizon up to which a batched executor may run without the
+// kernel needing to intervene. From inside a firing event the answer
+// is usually the hint fireSlot computed during the pop; otherwise it
+// is a full peek. "Foreign" is the caller's perspective: its own
+// registration was consumed by the pop that fired it, so everything
+// still queued belongs to someone else.
+func (k *Kernel) NextForeign() (Time, bool) {
+	if k.hasNextHint {
+		return k.nextHint, true
+	}
+	return k.peekWhen()
+}
+
+// Deadline reports the bound of the RunUntil call currently executing
+// events, if any. Batched executors must not advance the clock past
+// it: RunUntil's contract is that the clock lands exactly on the
+// deadline, and every event due at it still fires.
+func (k *Kernel) Deadline() (Time, bool) { return k.deadline, k.hasDeadline }
+
+// AbsorbNext consumes the earliest pending registration if it belongs
+// to timer t, advancing the clock to its timestamp and counting the
+// firing — but without running the callback: the caller takes
+// responsibility for the slot. It reports false (and pops nothing)
+// when the queue is empty or the earliest registration is someone
+// else's. This is the batched fast path's sibling-merge primitive: a
+// group of cores whose issue timers interleave in lockstep absorbs
+// each member's firing into one batch instead of bouncing through the
+// event loop four times per cycle, with (now, seq, fired) advancing
+// exactly as the individual firings would have.
+func (k *Kernel) AbsorbNext(t *Timer) bool {
+	if !t.ev.armed {
+		return false
+	}
+	for {
+		near := k.advanceNear()
+		k.pruneOverflow()
+		far := len(k.overflow) > 0
+		if near {
+			s := k.cur[k.curHead]
+			if far && k.overflow[0].before(s) {
+				if k.overflow[0].ev != &t.ev {
+					return false
+				}
+				s = k.heapPop()
+				s.ev.armed = false
+				k.liveFar--
+			} else {
+				if s.ev != &t.ev {
+					return false
+				}
+				k.cur[k.curHead] = slot{}
+				k.curHead++
+				s.ev.armed = false
+				k.liveNear--
+			}
+			k.now = s.when
+			k.fired++
+			// The pop changed the queue head; any hint published for
+			// the firing that opened the batch no longer holds.
+			k.hasNextHint = false
+			return true
+		}
+		if !far {
+			return false
+		}
+		k.rebase()
+	}
+}
+
+// StepTo advances the clock to t from inside a firing event, consuming
+// one sequence number and one firing — the exact bookkeeping of the
+// arm/fire pair it replaces. It is the batched fast path's primitive:
+// a core that would re-arm its issue timer at t and execute the next
+// instruction when it fires instead calls StepTo(t) and executes
+// inline, leaving now, seq and fired bit-identical to the
+// event-by-event schedule at every kernel-visible boundary.
+//
+// Stepping past (or onto) a pending event is a contract violation —
+// the pending registration was armed earlier, holds a lower sequence
+// number, and must fire first — as is stepping past the active
+// RunUntil deadline or backwards; all three panic.
+func (k *Kernel) StepTo(t Time) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: StepTo(%v) behind now %v", t, k.now))
+	}
+	if k.liveNear+k.liveFar > 0 {
+		if w, ok := k.peekWhen(); ok && w <= t {
+			panic(fmt.Sprintf("sim: StepTo(%v) would pass pending event at %v", t, w))
+		}
+	}
+	if k.hasDeadline && t > k.deadline {
+		panic(fmt.Sprintf("sim: StepTo(%v) beyond deadline %v", t, k.deadline))
+	}
+	k.seq++
+	k.fired++
+	k.now = t
 }
 
 // Reset drains every pending registration and rewinds the kernel to
@@ -367,6 +550,7 @@ func (k *Kernel) Reset() {
 	k.halted = false
 	k.wheelPos, k.wheelTime = 0, 0
 	k.liveNear, k.liveFar = 0, 0
+	k.hasDeadline, k.hasNextHint = false, false
 }
 
 // Run executes events until the queue drains or Halt is called.
@@ -378,16 +562,14 @@ func (k *Kernel) Run() {
 
 // RunUntil executes events with timestamps <= deadline, then sets the
 // clock to the deadline (even if no event fired exactly there). Events
-// scheduled beyond the deadline stay queued.
+// scheduled beyond the deadline stay queued. While the loop runs the
+// deadline is published through Deadline, bounding batched executors.
 func (k *Kernel) RunUntil(deadline Time) {
 	k.halted = false
-	for !k.halted {
-		t, ok := k.peekWhen()
-		if !ok || t > deadline {
-			break
-		}
-		k.Step()
+	k.deadline, k.hasDeadline = deadline, true
+	for !k.halted && k.stepDue(deadline) {
 	}
+	k.hasDeadline = false
 	if !k.halted && k.now < deadline {
 		k.now = deadline
 	}

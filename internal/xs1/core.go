@@ -107,8 +107,11 @@ type Core struct {
 	pageGen [numPages]uint64
 
 	threads [MaxThreads]Thread
-	// rr is the round-robin issue order of thread IDs.
-	rr []int
+	// rr is the round-robin issue order of thread IDs; the logical
+	// order starts at rr[rrOff] (pickReady rotates by bumping the
+	// offset, rrNormalize materializes it for everyone else).
+	rr    []int
+	rrOff int
 
 	// issueTimer drives the pipeline: armed once per issue attempt and
 	// re-armed forever, never reallocated. It and the twait timers are
@@ -123,6 +126,18 @@ type Core struct {
 
 	// timerAlloc tracks GETR'd timers.
 	timerAlloc [MaxThreads]bool
+
+	// icache is the predecoded instruction cache (turbo.go): one lazily
+	// allocated table per SRAM page, entries validated against pageGen.
+	// Derived state — it never appears in snapshots.
+	icache [numPages]*ipage
+	// turbo is the batching group this core issues through when the
+	// fast path is on — shared by all cores of a machine (GroupTurbo),
+	// a singleton for standalone cores.
+	turbo *turboGroup
+	// Fast-path counters, accumulated plain and folded into the
+	// process-wide totals by FlushTurboStats.
+	tBatches, tInstrs, tHits, tMisses, tStale uint64
 
 	// Energy accounting: background (static + idle dynamic) accrues
 	// with time; instructions add incremental switching energy.
@@ -179,6 +194,7 @@ func NewCore(k *sim.Kernel, sw *noc.Switch, cfg Config) (*Core, error) {
 	}
 	c.issueFire.c = c
 	c.issueTimer.Init(k, &c.issueFire)
+	c.turbo = &turboGroup{k: k, members: []*Core{c}}
 	for i := range c.threads {
 		c.threads[i].ID = i
 		c.twaitFires[i] = twaitFirer{c: c, id: i}
@@ -324,6 +340,7 @@ func (c *Core) resetThreads() {
 		c.twaitTimers[i].Disarm()
 	}
 	c.rr = c.rr[:0]
+	c.rrOff = 0
 }
 
 // Done reports whether every live thread has halted.
@@ -354,34 +371,27 @@ func (c *Core) scheduleIssue(t sim.Time) {
 	c.issueTimer.ArmEarliest(t)
 }
 
-// issueStep is the pipeline: pick the next ready thread in round-robin
-// order and execute one instruction.
+// issueStep is the pipeline entry point, fired by the issue timer. The
+// turbo path batches issue slots up to the next foreign kernel event;
+// the slow path executes exactly one. Both render bit-identical
+// machine state at every kernel-visible boundary.
 func (c *Core) issueStep() {
-	now := c.k.Now()
-	var th *Thread
-	for i := 0; i < len(c.rr); i++ {
-		id := c.rr[0]
-		// Rotate in place: appending rr[1:] back onto itself would grow
-		// a fresh backing array on every instruction issued.
-		copy(c.rr, c.rr[1:])
-		c.rr[len(c.rr)-1] = id
-		cand := &c.threads[id]
-		if cand.State == TReady && cand.nextReady <= now {
-			th = cand
-			break
-		}
+	if turboOff.Load() {
+		c.issueOne()
+		return
 	}
+	c.turbo.run(c)
+}
+
+// issueOne is the unbatched pipeline: pick the next ready thread in
+// round-robin order and execute one instruction.
+func (c *Core) issueOne() {
+	now := c.k.Now()
+	th := c.pickReady(now)
 	if th == nil {
 		c.IdleSlots++
 		// No thread ready now: wake at the earliest future readiness.
-		var next sim.Time = -1
-		for _, id := range c.rr {
-			t := &c.threads[id]
-			if t.State == TReady && (next < 0 || t.nextReady < next) {
-				next = t.nextReady
-			}
-		}
-		if next >= 0 {
+		if next := c.earliestReadyTime(); next >= 0 {
 			c.scheduleIssue(c.alignUp(next))
 		}
 		return

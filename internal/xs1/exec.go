@@ -49,59 +49,79 @@ func (c *Core) blockOnChan(th *Thread, ce *noc.ChanEnd) {
 // execute runs one instruction of thread th. Blocking instructions
 // leave PC unchanged and park the thread; they re-execute when woken.
 func (c *Core) execute(th *Thread) {
+	in, class, words, ok := c.fetchSlow(th)
+	if !ok {
+		return
+	}
+	c.run(th, &in, class, words)
+}
+
+// fetchSlow reads and decodes the instruction at th.PC straight from
+// SRAM, trapping the thread on a fetch or decode fault. It is the
+// uncached path: the turbo fetch falls back to it for anything the
+// predecode cache cannot hold, so faults trap with identical
+// diagnostics either way.
+func (c *Core) fetchSlow(th *Thread) (in Instr, class energy.InstrClass, words uint32, ok bool) {
 	w0, err := c.loadWord(th.PC * 4)
 	if err != nil {
 		c.trapThread(th, "instruction fetch: %v", err)
-		return
+		return Instr{}, 0, 0, false
 	}
 	var w1 uint32
 	if th.PC+1 < MemSize/4 {
 		w1, _ = c.loadWord(th.PC*4 + 4)
 	}
-	in, err := Decode(w0, w1)
+	in, err = Decode(w0, w1)
 	if err != nil {
 		c.trapThread(th, "decode at %#x: %v", th.PC, err)
-		return
+		return Instr{}, 0, 0, false
 	}
+	return in, classOf(in.Op), uint32(in.Words()), true
+}
+
+// run executes one already-decoded instruction of thread th. class and
+// words are the instruction's precomputed energy class and encoded
+// size (the predecode cache carries both, so the fast path never
+// re-derives them).
+func (c *Core) run(th *Thread, in *Instr, class energy.InstrClass, words uint32) {
 	r := &th.Regs
-	next := th.PC + uint32(in.Words())
+	next := th.PC + words
 	imm := uint32(in.Imm)
-	charge := func() { c.chargeInstr(th, classOf(in.Op)) }
 
 	switch in.Op {
 	case OpNOP:
-		charge()
+		c.chargeInstr(th, class)
 	case OpADD:
 		r[in.A] = r[in.B] + r[in.C]
-		charge()
+		c.chargeInstr(th, class)
 	case OpSUB:
 		r[in.A] = r[in.B] - r[in.C]
-		charge()
+		c.chargeInstr(th, class)
 	case OpAND:
 		r[in.A] = r[in.B] & r[in.C]
-		charge()
+		c.chargeInstr(th, class)
 	case OpOR:
 		r[in.A] = r[in.B] | r[in.C]
-		charge()
+		c.chargeInstr(th, class)
 	case OpXOR:
 		r[in.A] = r[in.B] ^ r[in.C]
-		charge()
+		c.chargeInstr(th, class)
 	case OpSHL:
 		r[in.A] = shiftL(r[in.B], r[in.C])
-		charge()
+		c.chargeInstr(th, class)
 	case OpSHR:
 		r[in.A] = shiftR(r[in.B], r[in.C])
-		charge()
+		c.chargeInstr(th, class)
 	case OpASHR:
 		if r[in.C] >= 32 {
 			r[in.A] = uint32(int32(r[in.B]) >> 31)
 		} else {
 			r[in.A] = uint32(int32(r[in.B]) >> r[in.C])
 		}
-		charge()
+		c.chargeInstr(th, class)
 	case OpMUL:
 		r[in.A] = r[in.B] * r[in.C]
-		charge()
+		c.chargeInstr(th, class)
 	case OpDIVU, OpREMU:
 		if r[in.C] == 0 {
 			c.trapThread(th, "divide by zero at %#x", th.PC)
@@ -112,53 +132,53 @@ func (c *Core) execute(th *Thread) {
 		} else {
 			r[in.A] = r[in.B] % r[in.C]
 		}
-		charge()
+		c.chargeInstr(th, class)
 		// The iterative divider stalls only the issuing thread.
 		th.nextReady = c.k.Now() + c.clk.Cycles(DividerCycles)
 	case OpEQ:
 		r[in.A] = b2u(r[in.B] == r[in.C])
-		charge()
+		c.chargeInstr(th, class)
 	case OpLSS:
 		r[in.A] = b2u(int32(r[in.B]) < int32(r[in.C]))
-		charge()
+		c.chargeInstr(th, class)
 	case OpLSU:
 		r[in.A] = b2u(r[in.B] < r[in.C])
-		charge()
+		c.chargeInstr(th, class)
 	case OpNOT:
 		r[in.A] = ^r[in.B]
-		charge()
+		c.chargeInstr(th, class)
 	case OpNEG:
 		r[in.A] = -r[in.B]
-		charge()
+		c.chargeInstr(th, class)
 
 	case OpLDC:
 		r[in.A] = imm
-		charge()
+		c.chargeInstr(th, class)
 	case OpADDI:
 		r[in.A] = r[in.B] + imm
-		charge()
+		c.chargeInstr(th, class)
 	case OpSUBI:
 		r[in.A] = r[in.B] - imm
-		charge()
+		c.chargeInstr(th, class)
 	case OpSHLI:
 		r[in.A] = shiftL(r[in.B], imm)
-		charge()
+		c.chargeInstr(th, class)
 	case OpSHRI:
 		r[in.A] = shiftR(r[in.B], imm)
-		charge()
+		c.chargeInstr(th, class)
 	case OpANDI:
 		r[in.A] = r[in.B] & imm
-		charge()
+		c.chargeInstr(th, class)
 	case OpORI:
 		r[in.A] = r[in.B] | imm
-		charge()
+		c.chargeInstr(th, class)
 	case OpMKMSK:
 		if imm >= 32 {
 			r[in.A] = ^uint32(0)
 		} else {
 			r[in.A] = (1 << imm) - 1
 		}
-		charge()
+		c.chargeInstr(th, class)
 
 	case OpLDW, OpLDWI:
 		addr := r[in.B]
@@ -173,7 +193,7 @@ func (c *Core) execute(th *Thread) {
 			return
 		}
 		r[in.A] = v
-		charge()
+		c.chargeInstr(th, class)
 	case OpSTW, OpSTWI:
 		addr := r[in.B]
 		if in.Op == OpSTW {
@@ -185,7 +205,7 @@ func (c *Core) execute(th *Thread) {
 			c.trapThread(th, "%v at pc %#x", err, th.PC)
 			return
 		}
-		charge()
+		c.chargeInstr(th, class)
 	case OpLD8:
 		addr := r[in.B] + r[in.C]
 		if int(addr) >= MemSize {
@@ -193,7 +213,7 @@ func (c *Core) execute(th *Thread) {
 			return
 		}
 		r[in.A] = uint32(c.mem[addr])
-		charge()
+		c.chargeInstr(th, class)
 	case OpST8:
 		addr := r[in.B] + r[in.C]
 		if int(addr) >= MemSize {
@@ -202,7 +222,7 @@ func (c *Core) execute(th *Thread) {
 		}
 		c.mem[addr] = byte(r[in.A])
 		c.touch(addr)
-		charge()
+		c.chargeInstr(th, class)
 	case OpLD16S:
 		addr := r[in.B] + r[in.C]*2
 		if addr&1 != 0 || int(addr)+2 > MemSize {
@@ -211,7 +231,7 @@ func (c *Core) execute(th *Thread) {
 		}
 		v := uint32(c.mem[addr]) | uint32(c.mem[addr+1])<<8
 		r[in.A] = uint32(int32(v<<16) >> 16)
-		charge()
+		c.chargeInstr(th, class)
 	case OpST16:
 		addr := r[in.B] + r[in.C]*2
 		if addr&1 != 0 || int(addr)+2 > MemSize {
@@ -221,31 +241,31 @@ func (c *Core) execute(th *Thread) {
 		c.mem[addr] = byte(r[in.A])
 		c.mem[addr+1] = byte(r[in.A] >> 8)
 		c.touch(addr)
-		charge()
+		c.chargeInstr(th, class)
 
 	case OpBRU:
-		charge()
+		c.chargeInstr(th, class)
 		th.PC = imm
 		return
 	case OpBRT:
-		charge()
+		c.chargeInstr(th, class)
 		if r[in.A] != 0 {
 			th.PC = imm
 			return
 		}
 	case OpBRF:
-		charge()
+		c.chargeInstr(th, class)
 		if r[in.A] == 0 {
 			th.PC = imm
 			return
 		}
 	case OpBL:
-		charge()
+		c.chargeInstr(th, class)
 		r[RegLR] = next
 		th.PC = imm
 		return
 	case OpBAU:
-		charge()
+		c.chargeInstr(th, class)
 		// BAU takes a byte address, as labels materialised via '@' are.
 		if r[in.A]&3 != 0 {
 			c.trapThread(th, "misaligned branch target %#x", r[in.A])
@@ -254,7 +274,7 @@ func (c *Core) execute(th *Thread) {
 		th.PC = r[in.A] >> 2
 		return
 	case OpRET:
-		charge()
+		c.chargeInstr(th, class)
 		th.PC = r[RegLR]
 		return
 
@@ -265,7 +285,7 @@ func (c *Core) execute(th *Thread) {
 			return
 		}
 		r[in.A] = uint32(id)
-		charge()
+		c.chargeInstr(th, class)
 	case OpTSETR:
 		tid := int(r[in.A])
 		if tid < 0 || tid >= MaxThreads || c.threads[tid].State != TPaused {
@@ -277,7 +297,7 @@ func (c *Core) execute(th *Thread) {
 			return
 		}
 		c.threads[tid].Regs[imm] = r[in.B]
-		charge()
+		c.chargeInstr(th, class)
 	case OpTSTART:
 		tid := int(r[in.A])
 		if tid < 0 || tid >= MaxThreads || c.threads[tid].State != TPaused {
@@ -286,9 +306,9 @@ func (c *Core) execute(th *Thread) {
 		}
 		c.threads[tid].State = TReady
 		c.threads[tid].nextReady = c.k.Now()
-		charge()
+		c.chargeInstr(th, class)
 	case OpTEND:
-		charge()
+		c.chargeInstr(th, class)
 		th.State = TDone
 		c.wakeJoiners(th.ID)
 		return
@@ -300,9 +320,9 @@ func (c *Core) execute(th *Thread) {
 		}
 		switch c.threads[tid].State {
 		case TDone, TFree:
-			charge()
+			c.chargeInstr(th, class)
 		default:
-			charge()
+			c.chargeInstr(th, class)
 			th.State = TBlockedJoin
 			th.joinTarget = tid
 			return
@@ -317,7 +337,7 @@ func (c *Core) execute(th *Thread) {
 				return
 			}
 			r[in.A] = uint32(ce.ID())
-			charge()
+			c.chargeInstr(th, class)
 		case ResTypeTimer:
 			idx := -1
 			for i, used := range c.timerAlloc {
@@ -332,7 +352,7 @@ func (c *Core) execute(th *Thread) {
 			}
 			c.timerAlloc[idx] = true
 			r[in.A] = uint32(timerResourceTag | idx)
-			charge()
+			c.chargeInstr(th, class)
 		default:
 			c.trapThread(th, "getr of unknown resource type %d", imm)
 			return
@@ -344,7 +364,7 @@ func (c *Core) execute(th *Thread) {
 			if idx < MaxThreads {
 				c.timerAlloc[idx] = false
 			}
-			charge()
+			c.chargeInstr(th, class)
 			break
 		}
 		ce, ok := c.resolveChanEnd(th, rid)
@@ -352,14 +372,14 @@ func (c *Core) execute(th *Thread) {
 			return
 		}
 		ce.Free()
-		charge()
+		c.chargeInstr(th, class)
 	case OpSETD:
 		ce, ok := c.resolveChanEnd(th, r[in.A])
 		if !ok {
 			return
 		}
 		ce.SetDest(noc.ChanEndID(r[in.B]))
-		charge()
+		c.chargeInstr(th, class)
 	case OpOUT:
 		ce, ok := c.resolveChanEnd(th, r[in.A])
 		if !ok {
@@ -369,7 +389,7 @@ func (c *Core) execute(th *Thread) {
 			c.blockOnChan(th, ce)
 			return
 		}
-		charge()
+		c.chargeInstr(th, class)
 	case OpIN:
 		ce, ok := c.resolveChanEnd(th, r[in.A])
 		if !ok {
@@ -381,7 +401,7 @@ func (c *Core) execute(th *Thread) {
 			return
 		}
 		r[in.B] = v
-		charge()
+		c.chargeInstr(th, class)
 	case OpOUTT:
 		ce, ok := c.resolveChanEnd(th, r[in.A])
 		if !ok {
@@ -391,7 +411,7 @@ func (c *Core) execute(th *Thread) {
 			c.blockOnChan(th, ce)
 			return
 		}
-		charge()
+		c.chargeInstr(th, class)
 	case OpINT:
 		ce, ok := c.resolveChanEnd(th, r[in.A])
 		if !ok {
@@ -407,7 +427,7 @@ func (c *Core) execute(th *Thread) {
 			return
 		}
 		r[in.B] = uint32(tok.Val)
-		charge()
+		c.chargeInstr(th, class)
 	case OpOUTCT:
 		ce, ok := c.resolveChanEnd(th, r[in.A])
 		if !ok {
@@ -417,7 +437,7 @@ func (c *Core) execute(th *Thread) {
 			c.blockOnChan(th, ce)
 			return
 		}
-		charge()
+		c.chargeInstr(th, class)
 	case OpCHKCT:
 		ce, ok := c.resolveChanEnd(th, r[in.A])
 		if !ok {
@@ -433,15 +453,15 @@ func (c *Core) execute(th *Thread) {
 			return
 		}
 		ce.TryIn()
-		charge()
+		c.chargeInstr(th, class)
 
 	case OpTIME:
 		r[in.A] = c.refNow()
-		charge()
+		c.chargeInstr(th, class)
 	case OpTWAIT:
 		deadline := r[in.A]
 		if int32(deadline-c.refNow()) > 0 {
-			charge()
+			c.chargeInstr(th, class)
 			th.State = TBlockedTime
 			when := c.k.Now() + sim.Time(int32(deadline-c.refNow()))*10*sim.Nanosecond
 			c.twaitTimers[th.ID].ArmAt(when)
@@ -450,20 +470,20 @@ func (c *Core) execute(th *Thread) {
 			th.PC = next
 			return
 		}
-		charge()
+		c.chargeInstr(th, class)
 	case OpGETID:
 		r[in.A] = uint32(c.node)
-		charge()
+		c.chargeInstr(th, class)
 	case OpGETTID:
 		r[in.A] = uint32(th.ID)
-		charge()
+		c.chargeInstr(th, class)
 
 	case OpDBG:
 		c.DebugTrace = append(c.DebugTrace, r[in.A])
-		charge()
+		c.chargeInstr(th, class)
 	case OpDBGC:
 		c.Console = append(c.Console, byte(r[in.A]))
-		charge()
+		c.chargeInstr(th, class)
 
 	default:
 		c.trapThread(th, "unimplemented opcode %v", in.Op)
@@ -478,6 +498,7 @@ func (c *Core) allocThread(pc uint32) int {
 		if c.threads[i].State == TFree {
 			t := &c.threads[i]
 			*t = Thread{ID: i, State: TPaused, PC: pc}
+			c.rrNormalize()
 			c.rr = append(c.rr, i)
 			return i
 		}

@@ -6,10 +6,14 @@ import (
 )
 
 // SRAM dirty tracking: the 64 KiB bank is divided into 4 KiB pages,
-// each stamped with the core's write generation on every store. A
-// snapshot records the generation it was taken at; restore copies back
-// only pages stamped newer than that, so rewinding a core whose SRAM
-// was never touched after the snapshot costs nothing. Generations are
+// each stamped with the core's write generation on every store. The
+// generation advances on every touch, so a page's stamp changes
+// whenever its content may have — which is what lets the predecoded
+// instruction cache (turbo.go) validate an entry with one comparison,
+// and what lets snapshots copy back only what changed: a snapshot
+// records the generation it was taken at, and restore copies back only
+// pages stamped newer than that, so rewinding a core whose SRAM was
+// never touched after the snapshot costs nothing. Generations are
 // monotone for the core's lifetime (Reset does not rewind them), which
 // keeps any number of outstanding snapshots valid: a page equal to its
 // state in snapshot S is exactly a page never stamped after S's
@@ -20,15 +24,20 @@ const (
 	numPages  = MemSize >> pageShift
 )
 
-// touch stamps the page holding addr. Aligned word and halfword
-// stores cannot cross a page, so one stamp covers every ISA store.
-func (c *Core) touch(addr uint32) { c.pageGen[addr>>pageShift] = c.memGen }
+// touch stamps the page holding addr with a fresh generation. Aligned
+// word and halfword stores cannot cross a page, so one stamp covers
+// every ISA store.
+func (c *Core) touch(addr uint32) {
+	c.memGen++
+	c.pageGen[addr>>pageShift] = c.memGen
+}
 
 // touchRange stamps every page overlapping [addr, addr+n).
 func (c *Core) touchRange(addr uint32, n int) {
 	if n <= 0 {
 		return
 	}
+	c.memGen++
 	for p := addr >> pageShift; p <= (addr+uint32(n)-1)>>pageShift; p++ {
 		c.pageGen[p] = c.memGen
 	}
@@ -36,6 +45,7 @@ func (c *Core) touchRange(addr uint32, n int) {
 
 // touchAll stamps the whole bank (Load/Reset clear it wholesale).
 func (c *Core) touchAll() {
+	c.memGen++
 	for p := range c.pageGen {
 		c.pageGen[p] = c.memGen
 	}
@@ -69,6 +79,7 @@ type CoreSnapshot struct {
 // copy (snapshots are taken once per shared prefix; restores are the
 // hot path).
 func (c *Core) Snapshot() *CoreSnapshot {
+	c.rrNormalize()
 	s := &CoreSnapshot{
 		gen:          c.memGen,
 		cfg:          c.cfg,
@@ -87,8 +98,9 @@ func (c *Core) Snapshot() *CoreSnapshot {
 		console:      append([]byte(nil), c.Console...),
 		halted:       c.halted,
 	}
-	// Writes after this point must stamp newer than s.gen.
-	c.memGen++
+	// Every later write stamps its page with a generation above s.gen
+	// (touch increments memGen first), so "dirty since this snapshot"
+	// is exactly pageGen > s.gen.
 	return s
 }
 
@@ -97,6 +109,10 @@ func (c *Core) Snapshot() *CoreSnapshot {
 // the core's existing slice capacity, so restoring allocates nothing
 // beyond (at most) first-time slice growth.
 func (c *Core) Restore(s *CoreSnapshot) int {
+	// Bump the generation before stamping: the copied-back pages get a
+	// stamp no earlier write (and no predecode-cache entry made under
+	// one) could share.
+	c.memGen++
 	dirty := 0
 	for p := 0; p < numPages; p++ {
 		if c.pageGen[p] > s.gen {
@@ -106,11 +122,11 @@ func (c *Core) Restore(s *CoreSnapshot) int {
 			dirty += pageSize
 		}
 	}
-	c.memGen++
 	c.cfg = s.cfg
 	c.clk = sim.NewClock(s.cfg.FreqMHz)
 	c.threads = s.threads
 	c.rr = append(c.rr[:0], s.rr...)
+	c.rrOff = 0
 	c.timerAlloc = s.timerAlloc
 	c.accrualStart = s.accrualStart
 	c.accruedJ = s.accruedJ

@@ -1,0 +1,104 @@
+package xs1
+
+import (
+	"testing"
+)
+
+// turboLoop is a small always-ready compute loop: every instruction
+// decodes from the same page, so after one pass the predecode cache
+// serves every fetch and the batch loop runs pure hit-path.
+const turboLoop = `
+	ldc r0, 7
+loop:
+	add r1, r0, r0
+	sub r2, r1, r0
+	or r3, r2, r1
+	and r4, r3, r2
+	bru loop
+`
+
+// TestTurboZeroAllocs pins the steady-state fast path at zero
+// allocations: once the decode cache pages exist and the kernel and
+// batch queues have reached capacity, batched execution — pick,
+// cached fetch, execute, StepTo, re-arm — must not touch the heap.
+// Cache population itself may allocate (one page per generation);
+// the prewarm run pays that before measurement starts.
+func TestTurboZeroAllocs(t *testing.T) {
+	defer SetTurbo(true)
+	SetTurbo(true)
+	r := newRig(t)
+	c := r.core(t, v00(), turboLoop)
+
+	// Prewarm: populate the decode cache page and let every queue
+	// (kernel wheel, batch ring) grow to steady capacity.
+	r.k.RunFor(100_000)
+	if c.tHits == 0 {
+		t.Fatal("prewarm recorded no decode-cache hits; fast path not engaged")
+	}
+
+	before := c.InstrCount
+	allocs := testing.AllocsPerRun(20, func() {
+		r.k.RunFor(50_000)
+	})
+	if c.InstrCount == before {
+		t.Fatal("measurement runs executed no instructions")
+	}
+	if allocs != 0 {
+		t.Errorf("batched issue loop allocates: %.1f allocs per RunFor(50µs) burst, want 0", allocs)
+	}
+}
+
+// TestTurboDecodeInvalidation pins the cache-coherence contract: a
+// store that rewrites code in a page already cached must be decoded
+// fresh (generation-stamp mismatch), counted as a stale entry, and
+// executed with the new bytes — code patches cannot run stale.
+func TestTurboDecodeInvalidation(t *testing.T) {
+	defer SetTurbo(true)
+	SetTurbo(true)
+	progA := MustAssemble("ldc r0, 5\nldc r1, 3\nadd r2, r0, r1\ntend\n")
+	progB := MustAssemble("ldc r0, 5\nldc r1, 3\nsub r2, r0, r1\ntend\n")
+	patch := -1
+	for i := range progA.Words {
+		if progA.Words[i] != progB.Words[i] {
+			if patch >= 0 {
+				t.Fatal("programs differ in more than one word")
+			}
+			patch = i
+		}
+	}
+	if patch < 0 {
+		t.Fatal("programs are identical")
+	}
+
+	r := newRig(t)
+	c, err := NewCore(r.k, r.net.Switch(v00()), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Load(progA); err != nil {
+		t.Fatal(err)
+	}
+	r.run(t, 1_000_000, c)
+	if got := c.threads[0].Regs[2]; got != 8 {
+		t.Fatalf("first pass: r2 = %d, want 8 (add)", got)
+	}
+
+	// Patch the add into a sub through the data port (bumps the page
+	// generation), restart thread 0 at PC 0 without reloading the
+	// image, and re-run: the predecoder must reject its cached entry
+	// and decode the new word.
+	if err := c.WriteWord(uint32(patch*4), progB.Words[patch]); err != nil {
+		t.Fatal(err)
+	}
+	stale := c.tStale
+	if err := c.LoadAt(&Program{}, 0); err != nil {
+		t.Fatal(err)
+	}
+	r.run(t, 2_000_000, c)
+	if got := c.threads[0].Regs[2]; got != 2 {
+		t.Fatalf("after patch: r2 = %d, want 2 (sub); decode cache served a stale entry", got)
+	}
+	if c.tStale == stale {
+		t.Errorf("patched word re-decoded without counting a stale entry (stale=%d)", stale)
+	}
+}
