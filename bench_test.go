@@ -26,6 +26,7 @@ import (
 	"swallow/internal/scenario"
 	"swallow/internal/sim"
 	"swallow/internal/topo"
+	"swallow/internal/trace"
 	"swallow/internal/workload"
 )
 
@@ -235,6 +236,46 @@ func BenchmarkTurbo(b *testing.B) {
 			}
 			b.StopTimer()
 			if n := countInstrs() - start; n > 0 {
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(n), "ns/instr")
+			}
+		})
+	}
+}
+
+// BenchmarkTraceOverhead prices the flight recorder against the same
+// workload BenchmarkTurbo times: a 16-core slice under heavy load,
+// once with no recorder attached (the production default — one nil
+// check per hook) and once with a recorder capturing into its ring.
+// BENCH_trace.json tracks both; nil must stay within noise of
+// BenchmarkTurbo/on, and the attached column bounds what a traced run
+// costs.
+func BenchmarkTraceOverhead(b *testing.B) {
+	prog := workload.HeavyLoad(4, 50_000_000) // never quiesces in-bench
+	for _, mode := range []struct {
+		name     string
+		attached bool
+	}{{"nil", false}, {"attached", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			m, err := core.New(1, 1, core.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := m.LoadAll(prog); err != nil {
+				b.Fatal(err)
+			}
+			if mode.attached {
+				// Big enough that ring wrap, not allocation, absorbs
+				// the event stream.
+				m.K.SetRecorder(trace.NewRecorder(1 << 16))
+			}
+			m.RunFor(10 * sim.Microsecond) // warm caches and queues
+			start := m.TotalInstrCount()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.RunFor(100 * sim.Microsecond)
+			}
+			b.StopTimer()
+			if n := m.TotalInstrCount() - start; n > 0 {
 				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(n), "ns/instr")
 			}
 		})

@@ -36,6 +36,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -50,28 +51,39 @@ type target struct {
 	Body []byte `json:"-"`
 }
 
-// sample is one completed request.
+// sample is one completed request. queueUs/renderUs are the server's
+// own decomposition of its time, read from the X-Queue-Micros /
+// X-Render-Micros response headers (zero against servers predating
+// them).
 type sample struct {
-	latency time.Duration
-	bytes   int64
-	hit     bool
-	err     error
+	latency  time.Duration
+	bytes    int64
+	hit      bool
+	queueUs  int64
+	renderUs int64
+	err      error
 }
 
 // stats is the aggregated run report.
 type stats struct {
-	Requests   int64    `json:"requests"`
-	Errors     int64    `json:"errors"`
-	CacheHits  int64    `json:"cache_hits"`
-	Bytes      int64    `json:"bytes"`
-	WallS      float64  `json:"wall_s"`
-	Throughput float64  `json:"throughput_rps"`
-	MeanMS     float64  `json:"mean_ms"`
-	P50MS      float64  `json:"p50_ms"`
-	P95MS      float64  `json:"p95_ms"`
-	P99MS      float64  `json:"p99_ms"`
-	MaxMS      float64  `json:"max_ms"`
-	Artifacts  []string `json:"artifacts"`
+	Requests   int64   `json:"requests"`
+	Errors     int64   `json:"errors"`
+	CacheHits  int64   `json:"cache_hits"`
+	Bytes      int64   `json:"bytes"`
+	WallS      float64 `json:"wall_s"`
+	Throughput float64 `json:"throughput_rps"`
+	MeanMS     float64 `json:"mean_ms"`
+	P50MS      float64 `json:"p50_ms"`
+	P95MS      float64 `json:"p95_ms"`
+	P99MS      float64 `json:"p99_ms"`
+	MaxMS      float64 `json:"max_ms"`
+	// Server-side split, means over successful requests: time the
+	// server spent waiting/overhead vs simulating, and what remains
+	// of client latency after both (network + client stack).
+	ServerQueueMeanMS  float64  `json:"server_queue_mean_ms"`
+	ServerRenderMeanMS float64  `json:"server_render_mean_ms"`
+	ClientOverheadMS   float64  `json:"client_overhead_mean_ms"`
+	Artifacts          []string `json:"artifacts"`
 }
 
 func main() {
@@ -219,6 +231,8 @@ func fetch(client *http.Client, t target) sample {
 		hit:     resp.Header.Get("X-Cache") == "HIT",
 		err:     err,
 	}
+	s.queueUs, _ = strconv.ParseInt(resp.Header.Get("X-Queue-Micros"), 10, 64)
+	s.renderUs, _ = strconv.ParseInt(resp.Header.Get("X-Render-Micros"), 10, 64)
 	if err == nil && resp.StatusCode != http.StatusOK {
 		s.err = fmt.Errorf("%s: %s", t.Name, resp.Status)
 	}
@@ -299,6 +313,7 @@ func reduce(samples []sample, mix []target, wall time.Duration) stats {
 	}
 	lats := make([]time.Duration, 0, len(samples))
 	var sum time.Duration
+	var queueUs, renderUs int64
 	for _, s := range samples {
 		st.Requests++
 		if s.err != nil {
@@ -312,6 +327,12 @@ func reduce(samples []sample, mix []target, wall time.Duration) stats {
 		st.Bytes += s.bytes
 		lats = append(lats, s.latency)
 		sum += s.latency
+		queueUs += s.queueUs
+		renderUs += s.renderUs
+	}
+	if n := int64(len(lats)); n > 0 {
+		st.ServerQueueMeanMS = float64(queueUs) / float64(n) / 1e3
+		st.ServerRenderMeanMS = float64(renderUs) / float64(n) / 1e3
 	}
 	if st.WallS > 0 {
 		st.Throughput = float64(st.Requests-st.Errors) / st.WallS
@@ -325,6 +346,9 @@ func reduce(samples []sample, mix []target, wall time.Duration) stats {
 		return lats[idx].Seconds() * 1e3
 	}
 	st.MeanMS = sum.Seconds() * 1e3 / float64(len(lats))
+	if over := st.MeanMS - st.ServerQueueMeanMS - st.ServerRenderMeanMS; over > 0 {
+		st.ClientOverheadMS = over
+	}
 	st.P50MS = pct(0.50)
 	st.P95MS = pct(0.95)
 	st.P99MS = pct(0.99)
@@ -340,4 +364,6 @@ func report(st stats) {
 	fmt.Printf("wall: %.3fs   throughput: %.1f req/s\n", st.WallS, st.Throughput)
 	fmt.Printf("latency ms: mean %.2f   p50 %.2f   p95 %.2f   p99 %.2f   max %.2f\n",
 		st.MeanMS, st.P50MS, st.P95MS, st.P99MS, st.MaxMS)
+	fmt.Printf("server split ms: queue-wait %.2f   render %.2f   client overhead %.2f\n",
+		st.ServerQueueMeanMS, st.ServerRenderMeanMS, st.ClientOverheadMS)
 }

@@ -19,6 +19,17 @@
 //	swallow-serve [-addr :8080] [-quick] [-par N] [-pool=false]
 //	              [-pool-max-mb N] [-workers N] [-queue N]
 //	              [-cache-mb N] [-cache-entries N] [-cache-ttl D]
+//	              [-access-log=false] [-pprof]
+//
+// Observability: every request gets an X-Request-ID (inbound value
+// propagated, otherwise generated) and -access-log (default on) emits
+// one structured JSON line per request to stdout — method, path,
+// status, artifact, cache state, queue wait and render time — while
+// operational logs stay on stderr. -pprof (default off) mounts the
+// net/http/pprof handlers under /debug/pprof/ for live CPU, heap and
+// goroutine profiles. GET /artifacts/{name}?trace=1 renders with the
+// flight recorder attached and returns table + Chrome trace JSON as a
+// multipart body (never cached).
 //
 // SIGINT/SIGTERM shut down gracefully: the listener stops accepting,
 // in-flight requests finish, and the job queue drains every accepted
@@ -31,6 +42,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -60,6 +72,8 @@ func main() {
 	turbo := flag.Bool("turbo", true, "predecoded-instruction-cache + batched-issue fast path (output is identical either way)")
 	poolMaxMB := flag.Int64("pool-max-mb", 256, "idle machine pool byte budget, MiB (0 = unbounded); submitted scenarios on big grids cannot park memory past it")
 	drain := flag.Duration("drain", time.Minute, "graceful shutdown budget for in-flight requests")
+	accessLog := flag.Bool("access-log", true, "write one structured JSON access-log line per request to stdout")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	flag.Parse()
 
 	if *par < 1 {
@@ -81,9 +95,25 @@ func main() {
 	if *quick {
 		opts.DefaultConfig = harness.QuickConfig()
 	}
+	if *accessLog {
+		// Access logs go to stdout; the operational log stays on
+		// stderr, so the two streams can be split and shipped apart.
+		opts.AccessLog = os.Stdout
+	}
 	srv := api.New(opts)
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofOn {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	log.Printf("serving %d artifacts on %s (workers=%d queue=%d cache=%dMiB/%d entries)",

@@ -22,7 +22,16 @@
 //	swallow-tables [-quick] [-only regexp] [-list] [-json]
 //	               [-par N | -seq] [-pool=false] [-warm-start=false]
 //	               [-turbo=false] [-cpuprofile f] [-memprofile f]
+//	               [-trace out.json] [-trace-events N]
 //	               [-scenario spec.json[,spec2.json...]]
+//
+// -trace records a flight-recorder trace of the rendered artifacts:
+// every machine checked out during the run captures kernel dispatches,
+// turbo batches, thread states, NoC token/credit traffic, power
+// samples and lifecycle events. A .json path gets Chrome trace-event
+// JSON (open in Perfetto / chrome://tracing); any other extension gets
+// the deterministic text timeline. Tracing never changes rendered
+// output — it forces -seq so the recording order is stable.
 package main
 
 import (
@@ -41,6 +50,7 @@ import (
 	"swallow/internal/harness"
 	"swallow/internal/harness/sweep"
 	"swallow/internal/scenario"
+	"swallow/internal/trace"
 )
 
 // jsonRecord is the -json per-artifact output schema, the shape CI
@@ -68,6 +78,8 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	scenarios := flag.String("scenario", "", "comma-separated scenario spec files to compile and render instead of the registry")
+	traceOut := flag.String("trace", "", "record a flight-recorder trace of every rendered artifact to this file (.json: Chrome trace-event for Perfetto; otherwise text timeline); forces -seq")
+	traceEvents := flag.Int("trace-events", 0, "per-machine trace ring capacity in events (0: default)")
 	flag.Parse()
 	experiments.SetPooling(*pool)
 	experiments.SetWarmStart(*warm)
@@ -124,6 +136,11 @@ func main() {
 	if *par < 1 {
 		log.Fatalf("-par must be >= 1, got %d", *par)
 	}
+	if *traceOut != "" {
+		// Tracing forces serial sweeps so machines check out in a
+		// deterministic order and the recording sequence is stable.
+		*par = 1
+	}
 	sweep.SetConcurrency(*par)
 
 	var filter *regexp.Regexp
@@ -153,6 +170,14 @@ func main() {
 				log.Fatalf("%s: %v", path, err)
 			}
 			arts = append(arts, c.Artifact)
+		}
+	}
+
+	var sess *trace.Session
+	if *traceOut != "" {
+		var err error
+		if sess, err = trace.Start(*traceEvents); err != nil {
+			log.Fatal(err)
 		}
 	}
 
@@ -188,6 +213,26 @@ func main() {
 	}
 	if !matched && filter != nil {
 		log.Fatalf("no artifact matches -only %q (try -list)", *only)
+	}
+	if sess != nil {
+		sess.Stop()
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if strings.HasSuffix(*traceOut, ".json") {
+			err = sess.WriteChrome(f)
+		} else {
+			err = sess.WriteText(f)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("trace: %d machine recording(s), %d event(s) -> %s",
+			len(sess.Recordings()), sess.TotalEvents(), *traceOut)
 	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)

@@ -15,6 +15,7 @@
 //	internal/core         machine assembly: cores + network + power tree
 //	internal/nos          network boot loader
 //	internal/bridge       Ethernet bridge module
+//	internal/trace        flight recorder: typed event rings + exporters
 //	internal/workload     host-driven flows and benchmark programs
 //	internal/experiments  regenerates every table and figure of the paper
 //	internal/harness      artifact registry + parallel sweep engine
@@ -98,4 +99,21 @@
 // foreign-event boundary. On by default; -turbo=false on both drivers
 // falls back to one instruction per kernel event, byte-identical
 // output either way. BENCH_turbo.json holds the committed baseline.
+//
+// # Observability
+//
+// internal/trace is the flight recorder: a preallocated per-machine
+// ring of fixed-size typed events (kernel dispatches, turbo batches,
+// thread states, NoC token and credit traffic, power samples, energy
+// accruals, lifecycle marks) that attaches to a kernel only inside
+// core.Checkout while a trace.Session is active. With no recorder
+// attached every hook is one pointer load and one branch, pinned at
+// zero allocations; with one attached the same run renders
+// byte-identical output (TestTracingNeutralGolden). Exporters write
+// Chrome trace-event JSON for Perfetto (swallow-tables -trace out.json,
+// GET /artifacts/{name}?trace=1) or a deterministic text timeline for
+// goldens. The service side adds X-Request-ID propagation, structured
+// JSON access logs, render-latency histograms in /metrics, and
+// optional net/http/pprof handlers (-pprof). BENCH_trace.json commits
+// the recorder's measured price on the turbo hot path.
 package swallow

@@ -17,6 +17,7 @@ import (
 	"swallow/internal/noc"
 	"swallow/internal/sim"
 	"swallow/internal/topo"
+	"swallow/internal/trace"
 )
 
 // RateBitsPerSec is the bridge's per-direction throughput cap
@@ -192,6 +193,9 @@ func (b *Bridge) pumpTx() {
 		}
 		b.inMsg++
 		b.BytesOut++
+		if rec := b.k.Recorder(); rec != nil {
+			rec.Emit(int64(now), trace.KindBridgeTx, int32(b.node), int64(b.BytesOut), 0)
+		}
 	} else {
 		if !b.tx.TryOut(noc.CtrlToken(noc.CtEnd)) {
 			return
@@ -229,6 +233,9 @@ func (b *Bridge) pumpRx() {
 	} else if !tok.Ctrl {
 		b.current = append(b.current, tok.Val)
 		b.BytesIn++
+		if rec := b.k.Recorder(); rec != nil {
+			rec.Emit(int64(now), trace.KindBridgeRx, int32(b.node), int64(b.BytesIn), 0)
+		}
 	}
 	b.nextRx = now + byteTime
 	if b.rx.InAvailable() > 0 {

@@ -1,6 +1,10 @@
 package core
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"swallow/internal/trace"
+)
 
 // The process-wide machine pool. Experiment inner loops and compiled
 // scenario runners both check machines out of this one pool, so a
@@ -50,11 +54,38 @@ func Checkout(slicesX, slicesY int, opts Options) (*Machine, func(), error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		return m, func() {}, nil
+		return m, traceCheckout(m, 0, func() {}), nil
 	}
 	m, err := sharedPool.Get(slicesX, slicesY, opts)
 	if err != nil {
 		return nil, nil, err
 	}
-	return m, func() { sharedPool.Put(m) }, nil
+	return m, traceCheckout(m, 1, func() { sharedPool.Put(m) }), nil
+}
+
+// traceCheckout is the flight recorder's single attachment seam: when
+// a trace session is active, every machine checked out — pooled,
+// fresh, scenario, or warm boot worker — gets a recorder for its
+// lifetime and files the recording at release. With no session active
+// it returns release unchanged, so untraced checkouts stay zero-cost.
+func traceCheckout(m *Machine, pooled int64, release func()) func() {
+	rec := trace.Attach()
+	if rec == nil {
+		return release
+	}
+	m.K.SetRecorder(rec)
+	rec.Emit(int64(m.K.Now()), trace.KindCheckout, trace.SrcMachine, pooled, 0)
+	return func() {
+		rec.Emit(int64(m.K.Now()), trace.KindRelease, trace.SrcMachine, 0, 0)
+		release()
+		if pooled != 0 {
+			// Pool.Put detached and collected the recorder itself —
+			// after recording its park-time Reset/Restore, before
+			// publishing the machine for reuse. Touching m here would
+			// race with the next checkout.
+			return
+		}
+		m.K.SetRecorder(nil)
+		trace.Collect(rec)
+	}
 }

@@ -279,6 +279,7 @@ func (m *Machine) buildPowerTree() error {
 			if err != nil {
 				return err
 			}
+			board.SetTraceIndex(idx)
 			m.supplies[idx] = rails
 			m.boards[idx] = board
 		}

@@ -1,6 +1,10 @@
 package core
 
-import "sync"
+import (
+	"sync"
+
+	"swallow/internal/trace"
+)
 
 // Pool reuses built machines across runs. Machine construction —
 // cores, SRAM, fabric, power tree, thousands of allocations — is the
@@ -120,6 +124,16 @@ func (p *Pool) Put(m *Machine) {
 		}
 	} else {
 		m.Reset()
+	}
+	// Detach any flight recorder now that the park-time Reset/Restore
+	// events above are in the recording, and strictly before the
+	// machine is published for reuse: once it is on the idle list a
+	// concurrent Get may hand it to another worker, whose own
+	// SetRecorder would race with a detach left to the releasing
+	// goroutine.
+	if rec := m.K.Recorder(); rec != nil {
+		m.K.SetRecorder(nil)
+		trace.Collect(rec)
 	}
 	p.mu.Lock()
 	p.idle[m.shape] = append(p.idle[m.shape], m)

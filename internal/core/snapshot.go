@@ -8,6 +8,7 @@ import (
 	"swallow/internal/power"
 	"swallow/internal/sim"
 	"swallow/internal/topo"
+	"swallow/internal/trace"
 	"swallow/internal/xs1"
 )
 
@@ -107,6 +108,10 @@ func (m *Machine) Snapshot() *Snapshot {
 		s.bridges = append(s.bridges, bs)
 	}
 	snapStats.taken.Add(1)
+	if rec := m.K.Recorder(); rec != nil {
+		rec.Emit(int64(m.K.Now()), trace.KindSnapshot, trace.SrcMachine,
+			int64(m.K.Pending()), 0)
+	}
 	return s
 }
 
@@ -117,8 +122,11 @@ func (m *Machine) Snapshot() *Snapshot {
 // event.
 func (m *Machine) Restore(s *Snapshot) {
 	m.K.Restore(s.kernel)
+	dirty := int64(0)
 	for i, node := range m.nodes {
-		snapStats.dirtyBytes.Add(uint64(m.cores[node].Restore(s.cores[i])))
+		n := m.cores[node].Restore(s.cores[i])
+		snapStats.dirtyBytes.Add(uint64(n))
+		dirty += int64(n)
 	}
 	m.Net.Restore(s.net)
 	for i, b := range m.boards {
@@ -137,6 +145,9 @@ func (m *Machine) Restore(s *Snapshot) {
 	}
 	m.epoch = s.epoch
 	snapStats.restores.Add(1)
+	if rec := m.K.Recorder(); rec != nil {
+		rec.Emit(int64(m.K.Now()), trace.KindRestore, trace.SrcMachine, dirty, 0)
+	}
 }
 
 // Bridge returns the machine's bridge at node, attaching one on first

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+
+	"swallow/internal/sim"
+	"swallow/internal/topo"
+	"swallow/internal/trace"
+	"swallow/internal/workload"
+)
+
+// TestTracedCheckoutRecords verifies the attachment seam end to end:
+// a checkout under an active session gets a recorder, the run emits
+// events through every hooked layer it touches, and release files the
+// recording with the session in checkout order.
+func TestTracedCheckoutRecords(t *testing.T) {
+	sess, err := trace.Start(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Stop()
+
+	m, release, err := Checkout(1, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K.Recorder() == nil {
+		t.Fatal("checkout under an active session left no recorder on the kernel")
+	}
+	node := topo.MakeNodeID(0, 0, topo.LayerV)
+	if err := m.Load(node, workload.BusyLoop(2, 200)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	release()
+	if m.K.Recorder() != nil {
+		t.Error("release should detach the recorder")
+	}
+
+	recs := sess.Recordings()
+	if len(recs) != 1 {
+		t.Fatalf("session collected %d recordings, want 1", len(recs))
+	}
+	counts := make(map[trace.Kind]int)
+	for _, ev := range recs[0].Events {
+		counts[ev.Kind]++
+	}
+	for _, want := range []trace.Kind{
+		trace.KindCheckout, trace.KindRelease,
+		trace.KindKernelEvent, trace.KindThreadState,
+	} {
+		if counts[want] == 0 {
+			t.Errorf("recording has no %v events (got %v)", want, counts)
+		}
+	}
+	if recs[0].Events[0].Kind != trace.KindCheckout {
+		t.Errorf("first event = %v, want checkout", recs[0].Events[0].Kind)
+	}
+	// Release precedes only the pool's park-time events (snapshot,
+	// reset bookkeeping); nothing after it may come from the workload.
+	seenRelease := false
+	for _, ev := range recs[0].Events {
+		if ev.Kind == trace.KindRelease {
+			seenRelease = true
+		} else if seenRelease && ev.Src != trace.SrcMachine {
+			t.Errorf("component event %v recorded after release", ev.Kind)
+		}
+	}
+}
+
+// TestUntracedRunZeroAlloc pins the trace-disabled hot path: with no
+// session active the recorder pointer is nil and a warm run must stay
+// allocation-free — the observability layer costs one pointer load and
+// one branch, never an allocation.
+func TestUntracedRunZeroAlloc(t *testing.T) {
+	if r := trace.Attach(); r != nil {
+		t.Fatal("a trace session is active; this test needs the untraced path")
+	}
+	m, err := New(1, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A load that cannot quiesce inside the measured window, so the
+	// guard times live execution rather than an idle kernel.
+	if err := m.LoadAll(workload.HeavyLoad(4, 50_000_000)); err != nil {
+		t.Fatal(err)
+	}
+	// Warm the kernel's bucket capacities to steady state; capacities
+	// migrate around the wheel ring as runs rotate through it, so this
+	// takes hundreds of same-sized bursts (see TestPooledCheckoutAllocs).
+	for i := 0; i < 300; i++ {
+		m.RunFor(20 * sim.Microsecond)
+	}
+	before := m.TotalInstrCount()
+	avg := testing.AllocsPerRun(20, func() {
+		m.RunFor(20 * sim.Microsecond)
+	})
+	if m.TotalInstrCount() == before {
+		t.Fatal("measurement runs executed no instructions")
+	}
+	if avg > 0 {
+		t.Fatalf("untraced RunFor allocates %.2f times per run, want 0", avg)
+	}
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"swallow/internal/harness"
+	"swallow/internal/harness/sweep"
+	"swallow/internal/trace"
+)
+
+// TestTracingNeutralGolden is the observability contract at the
+// artifact level: attaching the flight recorder must never change what
+// the simulator computes. Every registered artifact is rendered with a
+// trace session active and without one, across the lifecycle modes
+// that change how machines are built and scheduled — pooled and fresh,
+// serial and parallel sweeps, turbo on and off — and each pair must be
+// byte-identical.
+func TestTracingNeutralGolden(t *testing.T) {
+	cfg := harness.QuickConfig()
+	prevConc := sweep.Concurrency()
+	defer sweep.SetConcurrency(prevConc)
+	defer SetPooling(true)
+	defer SetTurbo(true)
+
+	runRegistry := func(label string) map[string]string {
+		out := make(map[string]string)
+		for _, a := range harness.Artifacts() {
+			tbl, err := a.Table(cfg)
+			if err != nil {
+				t.Fatalf("%s (%s): %v", a.Name, label, err)
+			}
+			out[a.Name] = tbl.String()
+		}
+		return out
+	}
+
+	// One untraced baseline suffices for every mode: the lifecycle
+	// contracts already hold the registry byte-identical across
+	// pooled/fresh, seq/par and turbo on/off, so each traced pass
+	// below must match this single reference.
+	SetPooling(true)
+	sweep.SetConcurrency(1)
+	SetTurbo(true)
+	plain := runRegistry("trace off, baseline")
+
+	for _, pooled := range []bool{true, false} {
+		for _, conc := range []int{1, 8} {
+			for _, turbo := range []bool{true, false} {
+				SetPooling(pooled)
+				sweep.SetConcurrency(conc)
+				SetTurbo(turbo)
+				mode := fmt.Sprintf("pooled=%v conc=%d turbo=%v", pooled, conc, turbo)
+
+				sess, err := trace.Start(0)
+				if err != nil {
+					t.Fatalf("trace.Start (%s): %v", mode, err)
+				}
+				traced := runRegistry("trace on, " + mode)
+				events := sess.TotalEvents()
+				sess.Stop()
+
+				if events == 0 {
+					t.Errorf("traced registry pass recorded no events (%s)", mode)
+				}
+				for _, a := range harness.Artifacts() {
+					if traced[a.Name] != plain[a.Name] {
+						t.Errorf("%s (%s): tracing changed rendered output.\n--- trace off ---\n%s\n--- trace on ---\n%s",
+							a.Name, mode, plain[a.Name], traced[a.Name])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTraceDeterministicGolden pins the recording itself: tracing the
+// same artifact twice under serial sweeps must produce byte-identical
+// text timelines — same machines, same checkout order, same event
+// sequence with the same timestamps.
+func TestTraceDeterministicGolden(t *testing.T) {
+	cfg := harness.QuickConfig()
+	prevConc := sweep.Concurrency()
+	sweep.SetConcurrency(1)
+	defer sweep.SetConcurrency(prevConc)
+
+	var fig3 *harness.Artifact
+	for _, a := range harness.Artifacts() {
+		if a.Name == "fig3" {
+			fig3 = a
+			break
+		}
+	}
+	if fig3 == nil {
+		t.Fatal("fig3 artifact not registered")
+	}
+
+	record := func() []byte {
+		sess, err := trace.Start(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sess.Stop()
+		if _, err := fig3.Table(cfg); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := sess.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	first := record()
+	second := record()
+	if len(first) == 0 || !bytes.Contains(first, []byte("checkout")) {
+		t.Fatalf("trace capture looks empty:\n%s", first)
+	}
+	if !bytes.Equal(first, second) {
+		t.Errorf("tracing fig3 twice produced different timelines:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+	}
+}

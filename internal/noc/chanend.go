@@ -5,6 +5,7 @@ import (
 
 	"swallow/internal/sim"
 	"swallow/internal/topo"
+	"swallow/internal/trace"
 )
 
 // ChanEnd is one channel-end resource of a core: the endpoint the ISA's
@@ -58,7 +59,12 @@ type ChanEnd struct {
 type chanWakeFirer struct{ ce *ChanEnd }
 
 func (f *chanWakeFirer) Fire() {
-	if fn := f.ce.wake; fn != nil {
+	ce := f.ce
+	if rec := ce.sw.net.K.Recorder(); rec != nil {
+		rec.Emit(int64(ce.sw.net.K.Now()), trace.KindChanWake,
+			int32(ce.sw.node), int64(ce.idx), 0)
+	}
+	if fn := ce.wake; fn != nil {
 		fn()
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"swallow/internal/energy"
 	"swallow/internal/sim"
+	"swallow/internal/trace"
 )
 
 // LinkTiming is the configuration of a physical link: its symbol clock
@@ -301,10 +302,19 @@ func (l *Link) scheduleDelivery(at sim.Time, tok Token) {
 // deliverDue hands every arrived token to the destination port and
 // re-arms for the next one in flight.
 func (l *Link) deliverDue() {
+	rec := l.k.Recorder()
 	for l.delivHead < len(l.deliv) && l.deliv[l.delivHead].at <= l.k.Now() {
 		d := l.deliv[l.delivHead]
 		l.deliv[l.delivHead] = delivery{}
 		l.delivHead++
+		if rec != nil {
+			ctrl := int64(0)
+			if d.tok.Ctrl {
+				ctrl = 1
+			}
+			rec.Emit(int64(l.k.Now()), trace.KindTokenHop,
+				int32(l.dst.sw.node), int64(d.tok.Val), ctrl)
+		}
 		l.dst.receive(d.tok, l)
 	}
 	if l.delivHead == len(l.deliv) {
@@ -336,9 +346,17 @@ func (l *Link) returnCredit() {
 // creditsDue banks every credit whose reverse-wire delay has elapsed and
 // restarts transmission.
 func (l *Link) creditsDue() {
+	returned := false
 	for l.creditHead < len(l.creditQ) && l.creditQ[l.creditHead] <= l.k.Now() {
 		l.creditHead++
 		l.credits++
+		returned = true
+	}
+	if returned {
+		if rec := l.k.Recorder(); rec != nil {
+			rec.Emit(int64(l.k.Now()), trace.KindCreditReturn,
+				int32(l.dst.sw.node), int64(l.credits), 0)
+		}
 	}
 	if l.creditHead == len(l.creditQ) {
 		l.creditQ = l.creditQ[:0]

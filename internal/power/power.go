@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"swallow/internal/sim"
+	"swallow/internal/trace"
 )
 
 // Meter reports a cumulative energy counter in joules. Cores, link
@@ -153,7 +154,14 @@ type Board struct {
 	// window state per channel for average-power reconstruction.
 	lastE []float64
 	lastT sim.Time
+
+	// traceIdx identifies the board on the flight recorder's tracks;
+	// the machine assembling the power tree assigns it.
+	traceIdx int32
 }
+
+// SetTraceIndex names the board for flight-recorder events.
+func (b *Board) SetTraceIndex(i int) { b.traceIdx = int32(i) }
 
 // NewBoard builds the daughter-board over a slice's supplies. The
 // default chain (50 mOhm shunt, gain 20, 12-bit ADC over 3.3 V) spans
@@ -240,6 +248,10 @@ func (b *Board) SampleAll() Sample {
 		smp.InputW[i] = backOutW / s.Efficiency
 	}
 	b.lastT = now
+	if rec := b.k.Recorder(); rec != nil {
+		rec.Emit(int64(now), trace.KindPowerSample, b.traceIdx,
+			int64(math.Float64bits(smp.TotalInputW())), 0)
+	}
 	return smp
 }
 

@@ -41,13 +41,16 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"swallow/internal/core"
 	"swallow/internal/harness"
+	"swallow/internal/report"
 	"swallow/internal/scenario"
 	"swallow/internal/service/cache"
 	"swallow/internal/service/queue"
+	"swallow/internal/trace"
 )
 
 // maxSpecBytes bounds a submitted scenario body.
@@ -74,6 +77,9 @@ type Options struct {
 	Workers       int
 	QueueCapacity int
 	JobRetention  int
+	// AccessLog receives one structured JSON line per request (see
+	// accessRecord). Nil disables access logging.
+	AccessLog io.Writer
 }
 
 // Server wires the registry, cache and queue behind one http.Handler.
@@ -83,6 +89,8 @@ type Server struct {
 	queue      *queue.Queue
 	met        *metrics
 	mux        *http.ServeMux
+	accessLog  io.Writer
+	reqSeq     atomic.Uint64
 }
 
 // New builds a Server and starts its worker pool. Callers must Close
@@ -112,12 +120,13 @@ func New(opts Options) *Server {
 		opts.JobRetention = 64
 	}
 	s := &Server{
-		def:   opts.DefaultConfig,
-		quick: opts.QuickConfig,
-		cache: cache.New(opts.CacheBytes, opts.CacheEntries, cache.WithTTL(opts.CacheTTL)),
-		queue: queue.New(opts.Workers, opts.QueueCapacity, opts.JobRetention),
-		met:   newMetrics(),
-		mux:   http.NewServeMux(),
+		def:       opts.DefaultConfig,
+		quick:     opts.QuickConfig,
+		cache:     cache.New(opts.CacheBytes, opts.CacheEntries, cache.WithTTL(opts.CacheTTL)),
+		queue:     queue.New(opts.Workers, opts.QueueCapacity, opts.JobRetention),
+		met:       newMetrics(),
+		mux:       http.NewServeMux(),
+		accessLog: opts.AccessLog,
 	}
 	s.mux.HandleFunc("GET /artifacts", s.handleArtifacts)
 	s.mux.HandleFunc("GET /artifacts/{name}", s.handleArtifact)
@@ -129,11 +138,18 @@ func New(opts Options) *Server {
 	return s
 }
 
-// Handler returns the HTTP entry point (request counting included).
+// Handler returns the HTTP entry point: request counting, X-Request-ID
+// generation/propagation, and structured JSON access logging around
+// the route mux.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.met.request()
-		s.mux.ServeHTTP(w, r)
+		start := time.Now()
+		id := s.requestID(r)
+		w.Header().Set("X-Request-ID", id)
+		rw := &statusWriter{ResponseWriter: w}
+		s.mux.ServeHTTP(rw, r)
+		s.logAccess(rw, r, id, start)
 	})
 }
 
@@ -239,18 +255,31 @@ func (s *Server) handleArtifacts(w http.ResponseWriter, r *http.Request) {
 // before keying, so requests differing only in irrelevant parameters
 // (e.g. ?iters= on an iteration-free table) share one cache entry
 // instead of re-running a byte-identical simulation.
-func (s *Server) render(a *harness.Artifact, cfg harness.Config) (cache.Entry, bool, error) {
+// The returned duration is the cold render time, zero on a cache hit;
+// handlers surface it as X-Render-Micros so clients (and the access
+// log) can split server time into queue wait vs simulation.
+func (s *Server) render(a *harness.Artifact, cfg harness.Config) (cache.Entry, bool, time.Duration, error) {
 	cfg = a.Project(cfg)
 	key := cache.Key(a.Name, cfg)
-	return s.cache.GetOrFill(key, func() ([]byte, error) {
-		start := time.Now()
-		t, err := a.Table(cfg)
-		if err != nil {
-			return nil, err
-		}
-		s.met.observe(a.Name, time.Since(start))
-		return []byte(t.String()), nil
+	var renderDur time.Duration
+	entry, hit, err := s.cache.GetOrFill(key, func() (body []byte, err error) {
+		// Shared side of the trace gate: plain renders proceed
+		// concurrently but never overlap an Exclusive traced run,
+		// whose session would otherwise record their machines.
+		trace.Shared(func() {
+			start := time.Now()
+			var t *report.Table
+			t, err = a.Table(cfg)
+			if err != nil {
+				return
+			}
+			renderDur = time.Since(start)
+			s.met.observe(a.Name, renderDur)
+			body = []byte(t.String())
+		})
+		return body, err
 	})
+	return entry, hit, renderDur, err
 }
 
 // handleArtifact serves one artifact synchronously: cache-aware, with
@@ -268,12 +297,33 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	entry, hit, err := s.render(a, cfg)
+	if v := r.URL.Query().Get("trace"); v != "" {
+		if on, err := strconv.ParseBool(v); err == nil && on {
+			s.handleArtifactTrace(w, r, a, cfg)
+			return
+		}
+	}
+	start := time.Now()
+	entry, hit, renderDur, err := s.render(a, cfg)
 	if err != nil {
 		writeError(w, runStatus(err), "%s: %v", name, err)
 		return
 	}
+	setTimingHeaders(w, start, renderDur)
 	writeCachedEntry(w, r, entry, hit)
+}
+
+// setTimingHeaders splits server-side time for the client: the cold
+// render duration (zero on a hit) and everything else — singleflight
+// wait, cache and handler overhead — as queue wait.
+func setTimingHeaders(w http.ResponseWriter, start time.Time, renderDur time.Duration) {
+	total := time.Since(start)
+	wait := total - renderDur
+	if wait < 0 {
+		wait = 0
+	}
+	w.Header().Set("X-Render-Micros", strconv.FormatInt(renderDur.Microseconds(), 10))
+	w.Header().Set("X-Queue-Micros", strconv.FormatInt(wait.Microseconds(), 10))
 }
 
 // writeCachedEntry is the shared epilogue of every cache-backed text
@@ -299,18 +349,25 @@ func writeCachedEntry(w http.ResponseWriter, r *http.Request, entry cache.Entry,
 // artifacts. Render latency aggregates under the fixed "scenario"
 // label to keep /metrics cardinality bounded however many distinct
 // specs clients invent.
-func (s *Server) renderScenario(c *scenario.Compiled, cfg harness.Config) (cache.Entry, bool, error) {
+func (s *Server) renderScenario(c *scenario.Compiled, cfg harness.Config) (cache.Entry, bool, time.Duration, error) {
 	cfg = c.Artifact.Project(cfg)
 	key := cache.Key("scenario:"+c.Hash, cfg)
-	return s.cache.GetOrFill(key, func() ([]byte, error) {
-		start := time.Now()
-		t, err := c.Artifact.Table(cfg)
-		if err != nil {
-			return nil, err
-		}
-		s.met.observe("scenario", time.Since(start))
-		return []byte(t.String()), nil
+	var renderDur time.Duration
+	entry, hit, err := s.cache.GetOrFill(key, func() (body []byte, err error) {
+		trace.Shared(func() {
+			start := time.Now()
+			var t *report.Table
+			t, err = c.Artifact.Table(cfg)
+			if err != nil {
+				return
+			}
+			renderDur = time.Since(start)
+			s.met.observe("scenario", renderDur)
+			body = []byte(t.String())
+		})
+		return body, err
 	})
+	return entry, hit, renderDur, err
 }
 
 // handleScenario compiles and runs a submitted spec synchronously.
@@ -345,11 +402,13 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.met.scenario()
-	entry, hit, err := s.renderScenario(c, cfg)
+	start := time.Now()
+	entry, hit, renderDur, err := s.renderScenario(c, cfg)
 	if err != nil {
 		writeError(w, runStatus(err), "scenario %s: %v", c.Spec.Name, err)
 		return
 	}
+	setTimingHeaders(w, start, renderDur)
 	w.Header().Set("X-Scenario-Hash", c.Hash)
 	writeCachedEntry(w, r, entry, hit)
 }
@@ -383,6 +442,10 @@ type jobView struct {
 	ETag     string `json:"etag,omitempty"`
 	Result   string `json:"result,omitempty"`
 	Error    string `json:"error,omitempty"`
+	// QueueWaitMicros / RunMicros decompose a finished job's life:
+	// submission-to-start wait vs worker run time.
+	QueueWaitMicros int64 `json:"queue_wait_micros,omitempty"`
+	RunMicros       int64 `json:"run_micros,omitempty"`
 }
 
 // handleSubmit accepts an async render job. A saturated queue is
@@ -456,9 +519,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		var entry cache.Entry
 		var err error
 		if compiled != nil {
-			entry, _, err = s.renderScenario(compiled, cfg)
+			entry, _, _, err = s.renderScenario(compiled, cfg)
 		} else {
-			entry, _, err = s.render(a, cfg)
+			entry, _, _, err = s.render(a, cfg)
 		}
 		if err != nil {
 			return nil, err
@@ -508,6 +571,12 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		Status:   string(j.Status),
 		URL:      "/jobs/" + j.ID,
 		Error:    j.Err,
+	}
+	if !j.Started.IsZero() {
+		view.QueueWaitMicros = j.Started.Sub(j.Submitted).Microseconds()
+		if !j.Finished.IsZero() {
+			view.RunMicros = j.Finished.Sub(j.Started).Microseconds()
+		}
 	}
 	if res, ok := j.Result.(jobResult); ok {
 		view.ETag = `"` + res.entry.ContentHash + `"`

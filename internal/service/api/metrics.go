@@ -3,6 +3,7 @@ package api
 import (
 	"fmt"
 	"io"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"time"
@@ -12,26 +13,50 @@ import (
 	"swallow/internal/xs1"
 )
 
-// latAgg aggregates render latency for one artifact.
-type latAgg struct {
-	count int64
-	sum   time.Duration
-	max   time.Duration
+// renderBuckets are the render-latency histogram upper bounds in
+// seconds (Prometheus `le` labels), spanning cached-adjacent quick
+// renders (~ms) through full-config sweeps (~10 s). A +Inf bucket is
+// implicit.
+var renderBuckets = [numRenderBuckets]float64{0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+const numRenderBuckets = 11
+
+// latHist is a Prometheus-style cumulative histogram for one artifact.
+// All fields are monotonic for the life of the process: observations
+// only ever increment counts, so scrapes see a proper counter series —
+// resets happen only at process restart, which scrapers detect by the
+// value decreasing (and swallow_uptime_seconds corroborates).
+type latHist struct {
+	counts [numRenderBuckets + 1]int64 // +1: the +Inf bucket
+	sum    float64
+	count  int64
+}
+
+func (h *latHist) observe(sec float64) {
+	for i, ub := range renderBuckets {
+		if sec <= ub {
+			h.counts[i]++
+		}
+	}
+	h.counts[len(renderBuckets)]++
+	h.sum += sec
+	h.count++
 }
 
 // metrics tracks the service counters /metrics reports. Cache and
 // queue figures are read live from their owners; only request and
-// latency counters live here.
+// latency counters live here. Every series this struct owns is
+// monotonic within a process lifetime (see latHist).
 type metrics struct {
 	mu        sync.Mutex
 	requests  int64
 	rejected  int64
 	scenarios int64
-	renders   map[string]*latAgg
+	renders   map[string]*latHist
 }
 
 func newMetrics() *metrics {
-	return &metrics{renders: make(map[string]*latAgg)}
+	return &metrics{renders: make(map[string]*latHist)}
 }
 
 // request counts one HTTP request.
@@ -56,27 +81,51 @@ func (m *metrics) scenario() {
 	m.mu.Unlock()
 }
 
-// observe records one cold render of an artifact.
+// observe records one cold render of an artifact. The histogram entry
+// for an artifact, once created, is never removed or zeroed, so the
+// per-artifact series stays monotonic even as the artifact map grows.
 func (m *metrics) observe(artifact string, d time.Duration) {
 	m.mu.Lock()
-	agg := m.renders[artifact]
-	if agg == nil {
-		agg = &latAgg{}
-		m.renders[artifact] = agg
+	h := m.renders[artifact]
+	if h == nil {
+		h = &latHist{}
+		m.renders[artifact] = h
 	}
-	agg.count++
-	agg.sum += d
-	if d > agg.max {
-		agg.max = d
-	}
+	h.observe(d.Seconds())
 	m.mu.Unlock()
 }
 
-// write renders the snapshot in Prometheus-style text form, artifact
-// rows name-sorted for deterministic output.
+// buildVersion resolves the binary's module version once, for the
+// swallow_build_info series. "dev" covers go-run and test binaries.
+var buildVersion = func() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if v := bi.Main.Version; v != "" && v != "(devel)" {
+			return v
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+				return s.Value[:12]
+			}
+		}
+	}
+	return "dev"
+}()
+
+// write renders the snapshot in Prometheus text form, artifact rows
+// name-sorted for deterministic output. Counter semantics: every
+// *_total series and the render histogram are monotonic for the life
+// of the process; they reset only when the process restarts, which
+// scrapers detect as a counter reset (swallow_uptime_seconds dropping
+// corroborates it).
 func (m *metrics) write(w io.Writer, cs cache.Stats, queueDepth, queueCap int, ps core.PoolStats) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	fmt.Fprintf(w, "# HELP swallow_build_info Build metadata; constant 1.\n")
+	fmt.Fprintf(w, "# TYPE swallow_build_info gauge\n")
+	fmt.Fprintf(w, "swallow_build_info{version=%q} 1\n", buildVersion)
+	fmt.Fprintf(w, "# HELP swallow_uptime_seconds Seconds since process start.\n")
+	fmt.Fprintf(w, "# TYPE swallow_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "swallow_uptime_seconds %.3f\n", time.Since(processStart).Seconds())
 	fmt.Fprintf(w, "swallow_requests_total %d\n", m.requests)
 	fmt.Fprintf(w, "swallow_requests_rejected_total %d\n", m.rejected)
 	fmt.Fprintf(w, "swallow_scenarios_total %d\n", m.scenarios)
@@ -110,10 +159,19 @@ func (m *metrics) write(w io.Writer, cs cache.Stats, queueDepth, queueCap int, p
 		names = append(names, name)
 	}
 	sort.Strings(names)
+	if len(names) > 0 {
+		fmt.Fprintf(w, "# HELP swallow_render_seconds Cold render latency per artifact.\n")
+		fmt.Fprintf(w, "# TYPE swallow_render_seconds histogram\n")
+	}
 	for _, name := range names {
-		agg := m.renders[name]
-		fmt.Fprintf(w, "swallow_render_seconds_count{artifact=%q} %d\n", name, agg.count)
-		fmt.Fprintf(w, "swallow_render_seconds_sum{artifact=%q} %.6f\n", name, agg.sum.Seconds())
-		fmt.Fprintf(w, "swallow_render_seconds_max{artifact=%q} %.6f\n", name, agg.max.Seconds())
+		h := m.renders[name]
+		for i, ub := range renderBuckets {
+			fmt.Fprintf(w, "swallow_render_seconds_bucket{artifact=%q,le=%q} %d\n",
+				name, fmt.Sprintf("%g", ub), h.counts[i])
+		}
+		fmt.Fprintf(w, "swallow_render_seconds_bucket{artifact=%q,le=\"+Inf\"} %d\n",
+			name, h.counts[len(renderBuckets)])
+		fmt.Fprintf(w, "swallow_render_seconds_sum{artifact=%q} %.6f\n", name, h.sum)
+		fmt.Fprintf(w, "swallow_render_seconds_count{artifact=%q} %d\n", name, h.count)
 	}
 }

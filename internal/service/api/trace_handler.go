@@ -1,0 +1,90 @@
+package api
+
+import (
+	"bytes"
+	"mime/multipart"
+	"net/http"
+	"net/textproto"
+	"time"
+
+	"swallow/internal/harness"
+	"swallow/internal/harness/sweep"
+	"swallow/internal/trace"
+)
+
+// handleArtifactTrace serves GET /artifacts/{name}?trace=1: the
+// artifact rendered cold with a flight-recorder session active, the
+// table and the Chrome trace-event JSON returned as two multipart
+// fields. Traced responses are never cached (the render is forced
+// serial and uncached so the event sequence is deterministic) and are
+// marked no-store.
+func (s *Server) handleArtifactTrace(w http.ResponseWriter, r *http.Request, a *harness.Artifact, cfg harness.Config) {
+	cfg = a.Project(cfg)
+	var (
+		body     []byte
+		traceBuf bytes.Buffer
+		rerr     error
+	)
+	start := time.Now()
+	var renderDur time.Duration
+	// Exclusive side of the trace gate: no plain render may check a
+	// machine out while the session is active, and concurrent traced
+	// requests serialize here so trace.Start never collides.
+	trace.Exclusive(func() {
+		sess, err := trace.Start(0)
+		if err != nil {
+			rerr = err
+			return
+		}
+		defer sess.Stop()
+		// Sweep points must run in checkout order for the recording
+		// sequence to be deterministic; restore the worker count after.
+		prev := sweep.Concurrency()
+		sweep.SetConcurrency(1)
+		defer sweep.SetConcurrency(prev)
+		renderStart := time.Now()
+		t, err := a.Table(cfg)
+		if err != nil {
+			rerr = err
+			return
+		}
+		renderDur = time.Since(renderStart)
+		s.met.observe(a.Name, renderDur)
+		body = []byte(t.String())
+		rerr = sess.WriteChrome(&traceBuf)
+	})
+	if rerr != nil {
+		writeError(w, runStatus(rerr), "%s: %v", a.Name, rerr)
+		return
+	}
+	var out bytes.Buffer
+	mw := multipart.NewWriter(&out)
+	part, err := mw.CreatePart(textproto.MIMEHeader{
+		"Content-Type":        {"text/plain; charset=utf-8"},
+		"Content-Disposition": {`form-data; name="table"`},
+	})
+	if err == nil {
+		_, err = part.Write(body)
+	}
+	if err == nil {
+		part, err = mw.CreatePart(textproto.MIMEHeader{
+			"Content-Type":        {"application/json"},
+			"Content-Disposition": {`form-data; name="trace"`},
+		})
+	}
+	if err == nil {
+		_, err = part.Write(traceBuf.Bytes())
+	}
+	if err == nil {
+		err = mw.Close()
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%s: assembling trace response: %v", a.Name, err)
+		return
+	}
+	setTimingHeaders(w, start, renderDur)
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("X-Cache", "BYPASS")
+	w.Header().Set("Content-Type", "multipart/form-data; boundary="+mw.Boundary())
+	w.Write(out.Bytes())
+}

@@ -1,6 +1,10 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"swallow/internal/trace"
+)
 
 // The kernel's pending-event store is a two-tier ladder queue tuned for
 // the simulator's traffic profile: almost every event is scheduled a few
@@ -127,6 +131,11 @@ type Kernel struct {
 	quantumShift uint
 	quantum      Time
 	wheelSpan    Time
+
+	// rec is the attached flight recorder, nil when tracing is off.
+	// Reset and snapshot restore leave it alone: attachment follows
+	// the checkout lifecycle (core.Checkout), not the event state.
+	rec *trace.Recorder
 }
 
 // Option configures a Kernel at construction.
@@ -174,6 +183,16 @@ func (k *Kernel) Fired() uint64 { return k.fired }
 // between batched and event-by-event execution: StepTo consumes one
 // seq per synthetic slot, exactly as the arm it replaces would have.
 func (k *Kernel) Seq() uint64 { return k.seq }
+
+// SetRecorder attaches (or, with nil, detaches) the flight recorder.
+// Attachment is owned by the machine checkout lifecycle; Reset and
+// snapshot restore never touch it.
+func (k *Kernel) SetRecorder(r *trace.Recorder) { k.rec = r }
+
+// Recorder returns the attached flight recorder, nil when tracing is
+// off. Components emit through this: the nil path is one load and one
+// branch, so untraced hot loops stay allocation-free.
+func (k *Kernel) Recorder() *trace.Recorder { return k.rec }
 
 // Pending reports the number of events waiting in the queue.
 func (k *Kernel) Pending() int { return k.liveNear + k.liveFar }
@@ -368,6 +387,13 @@ func (k *Kernel) Halt() { k.halted = true }
 func (k *Kernel) fireSlot(s slot) {
 	k.now = s.when
 	k.fired++
+	if r := k.rec; r != nil {
+		waker := int64(0)
+		if s.ev.w != nil {
+			waker = 1
+		}
+		r.Emit(int64(s.when), trace.KindKernelEvent, trace.SrcMachine, int64(s.seq), waker)
+	}
 	if k.curHead < len(k.cur) && k.cur[k.curHead].live() {
 		t := k.cur[k.curHead].when
 		known := true

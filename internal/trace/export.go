@@ -1,0 +1,244 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Export formats. Both exporters walk recordings in checkout order and
+// events in emission order, so a deterministic simulation produces
+// byte-identical exports run-to-run.
+
+// domain groups kinds onto display tracks: one machine-scoped track
+// plus one track per core, switch, board, and bridge that emitted
+// anything.
+type domain uint8
+
+const (
+	domMachine domain = iota
+	domCore
+	domSwitch
+	domBoard
+	domBridge
+)
+
+var kindDomain = [kindMax]domain{
+	KindKernelEvent:   domMachine,
+	KindTurboBatch:    domCore,
+	KindThreadState:   domCore,
+	KindChanBlock:     domCore,
+	KindChanWake:      domSwitch,
+	KindTokenHop:      domSwitch,
+	KindCreditReturn:  domSwitch,
+	KindPowerSample:   domBoard,
+	KindPowerState:    domCore,
+	KindEnergyAccrual: domCore,
+	KindSnapshot:      domMachine,
+	KindRestore:       domMachine,
+	KindCheckout:      domMachine,
+	KindRelease:       domMachine,
+	KindBridgeTx:      domBridge,
+	KindBridgeRx:      domBridge,
+}
+
+// track is a (domain, src) display lane within one recording.
+type track struct {
+	dom domain
+	src int32
+}
+
+func (t track) name() string {
+	switch t.dom {
+	case domMachine:
+		return "machine"
+	case domCore:
+		return fmt.Sprintf("core n%03x", uint32(t.src))
+	case domSwitch:
+		return fmt.Sprintf("switch n%03x", uint32(t.src))
+	case domBoard:
+		return fmt.Sprintf("board %d", t.src)
+	case domBridge:
+		return fmt.Sprintf("bridge n%03x", uint32(t.src))
+	}
+	return fmt.Sprintf("track %d/%d", t.dom, t.src)
+}
+
+// trackOf maps an event to its display track.
+func trackOf(ev Event) track {
+	var d domain
+	if int(ev.Kind) < len(kindDomain) {
+		d = kindDomain[ev.Kind]
+	}
+	if d == domMachine {
+		return track{dom: domMachine, src: 0}
+	}
+	return track{dom: d, src: ev.Src}
+}
+
+// tracksOf lists the tracks a recording uses, machine first, then by
+// (domain, src) — a stable thread ordering for both exporters.
+func tracksOf(rec *Recording) []track {
+	seen := make(map[track]bool)
+	var out []track
+	for _, ev := range rec.Events {
+		t := trackOf(ev)
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].dom != out[j].dom {
+			return out[i].dom < out[j].dom
+		}
+		return out[i].src < out[j].src
+	})
+	return out
+}
+
+// floatArg reports whether a kind's A payload is Float64bits.
+func floatArg(k Kind) bool {
+	return k == KindPowerSample || k == KindEnergyAccrual
+}
+
+// chromeEvent is one row of the Chrome trace-event JSON format
+// (Perfetto's legacy ingestion format). Simulated picoseconds are
+// written directly as trace microseconds, so 1 displayed µs = 1
+// simulated ps and Perfetto's microsecond ruler reads as picoseconds.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  *int64         `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome writes the session as Chrome trace-event JSON. Each
+// recording becomes one process (pid = checkout index + 1); each
+// track becomes one named thread within it.
+func (s *Session) WriteChrome(w io.Writer) error {
+	var rows []chromeEvent
+	for _, rec := range s.Recordings() {
+		pid := rec.Index + 1
+		tracks := tracksOf(rec)
+		tids := make(map[track]int, len(tracks))
+		rows = append(rows, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": fmt.Sprintf("machine %d", rec.Index)},
+		})
+		for i, t := range tracks {
+			tids[t] = i
+			rows = append(rows, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: i,
+				Args: map[string]any{"name": t.name()},
+			})
+		}
+		for _, ev := range rec.Events {
+			row := chromeEvent{
+				Name: ev.Kind.String(),
+				Ts:   ev.TS,
+				Pid:  pid,
+				Tid:  tids[trackOf(ev)],
+				Args: chromeArgs(ev),
+			}
+			switch {
+			case ev.Kind == KindTurboBatch:
+				row.Ph = "X"
+				dur := ev.TS2 - ev.TS
+				if dur < 0 {
+					dur = 0
+				}
+				row.Dur = &dur
+			case ev.Kind == KindPowerSample || ev.Kind == KindEnergyAccrual:
+				row.Ph = "C"
+			default:
+				row.Ph = "i"
+				row.S = "t"
+			}
+			rows = append(rows, row)
+		}
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(bw)
+	enc.SetEscapeHTML(false)
+	for i, row := range rows {
+		if i > 0 {
+			bw.WriteString(",")
+		}
+		// Encoder appends a newline after each row, giving one
+		// event per line without buffering the whole trace.
+		if err := enc.Encode(row); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("]}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// chromeArgs builds the args object for one event.
+func chromeArgs(ev Event) map[string]any {
+	names := argNames[ev.Kind]
+	args := make(map[string]any, 2)
+	if names[0] != "" {
+		if floatArg(ev.Kind) {
+			args[names[0]] = math.Float64frombits(uint64(ev.A))
+		} else {
+			args[names[0]] = ev.A
+		}
+	}
+	if names[1] != "" {
+		args[names[1]] = ev.B
+	}
+	if len(args) == 0 {
+		return nil
+	}
+	return args
+}
+
+// WriteText writes the deterministic text timeline: one header line
+// per recording, then one line per event in emission order —
+//
+//	<ts_ps> <track> <kind> key=value...
+//
+// The format is the golden surface for trace-determinism tests; the
+// same artifact traced twice must produce byte-identical output.
+func (s *Session) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	recs := s.Recordings()
+	fmt.Fprintf(bw, "# swallow trace: %d recording(s)\n", len(recs))
+	for _, rec := range recs {
+		fmt.Fprintf(bw, "# recording %d: %d event(s), %d dropped\n",
+			rec.Index, len(rec.Events), rec.Dropped)
+		for _, ev := range rec.Events {
+			fmt.Fprintf(bw, "%d %s %s", ev.TS, trackOf(ev).name(), ev.Kind)
+			if ev.Kind == KindTurboBatch {
+				fmt.Fprintf(bw, " dur=%d", ev.TS2-ev.TS)
+			}
+			names := argNames[ev.Kind]
+			if names[0] != "" {
+				if floatArg(ev.Kind) {
+					fmt.Fprintf(bw, " %s=%.9g", names[0], math.Float64frombits(uint64(ev.A)))
+				} else {
+					fmt.Fprintf(bw, " %s=%d", names[0], ev.A)
+				}
+			}
+			if names[1] != "" {
+				fmt.Fprintf(bw, " %s=%d", names[1], ev.B)
+			}
+			fmt.Fprintln(bw)
+		}
+	}
+	return bw.Flush()
+}

@@ -3,11 +3,13 @@ package xs1
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 
 	"swallow/internal/energy"
 	"swallow/internal/noc"
 	"swallow/internal/sim"
 	"swallow/internal/topo"
+	"swallow/internal/trace"
 )
 
 // ThreadState enumerates hardware thread lifecycle states.
@@ -237,6 +239,7 @@ func (c *Core) Retune(cfg Config) error {
 	c.bankEnergy()
 	c.cfg = cfg
 	c.clk = sim.NewClock(cfg.FreqMHz)
+	c.tracePowerState()
 	return nil
 }
 
@@ -298,6 +301,7 @@ func (c *Core) Load(p *Program) error {
 	c.halted = false
 	t0 := &c.threads[0]
 	t0.State = TReady
+	c.traceThread(t0)
 	t0.PC = uint32(p.Entry)
 	t0.Regs[RegSP] = MemSize - 4
 	c.rr = append(c.rr, 0)
@@ -325,6 +329,7 @@ func (c *Core) LoadAt(p *Program, byteBase uint32) error {
 	c.halted = false
 	t0 := &c.threads[0]
 	t0.State = TReady
+	c.traceThread(t0)
 	t0.PC = byteBase/4 + uint32(p.Entry)
 	t0.Regs[RegSP] = MemSize - 4
 	c.rr = append(c.rr, 0)
@@ -405,9 +410,29 @@ func (c *Core) issueOne() {
 }
 
 // kickThread readies a blocked thread and restarts the pipeline.
+// traceEmit records an event on this core's track when a flight
+// recorder is attached; a single branch otherwise.
+func (c *Core) traceEmit(k trace.Kind, a, b int64) {
+	if r := c.k.Recorder(); r != nil {
+		r.Emit(int64(c.k.Now()), k, int32(c.node), a, b)
+	}
+}
+
+// traceThread records a thread scheduling transition.
+func (c *Core) traceThread(th *Thread) {
+	c.traceEmit(trace.KindThreadState, int64(th.ID), int64(th.State))
+}
+
+// tracePowerState records the core's operating point after a change.
+func (c *Core) tracePowerState() {
+	c.traceEmit(trace.KindPowerState,
+		int64(c.cfg.FreqMHz*1000+0.5), int64(c.cfg.VDD*1000+0.5))
+}
+
 func (c *Core) kickThread(th *Thread) {
 	th.State = TReady
 	th.blockedOn = nil
+	c.traceThread(th)
 	if th.nextReady < c.k.Now() {
 		th.nextReady = c.alignUp(c.k.Now())
 	}
@@ -454,6 +479,7 @@ func (c *Core) SetFrequency(fMHz float64) error {
 	c.bankEnergy()
 	c.cfg.FreqMHz = fMHz
 	c.clk = sim.NewClock(fMHz)
+	c.tracePowerState()
 	return nil
 }
 
@@ -470,6 +496,7 @@ func (c *Core) SetVoltage(v float64) error {
 	}
 	c.bankEnergy()
 	c.cfg.VDD = v
+	c.tracePowerState()
 	return nil
 }
 
@@ -479,6 +506,8 @@ func (c *Core) bankEnergy() {
 	elapsed := (c.k.Now() - c.accrualStart).Seconds()
 	c.accruedJ += c.BackgroundPowerW() * elapsed
 	c.accrualStart = c.k.Now()
+	c.traceEmit(trace.KindEnergyAccrual,
+		int64(math.Float64bits(c.accruedJ+c.dynamicJ)), int64(c.InstrCount))
 }
 
 // Halt freezes the core (used by machine teardown).
@@ -535,6 +564,7 @@ func (c *Core) ReadBytes(addr uint32, n int) ([]byte, error) {
 func (c *Core) trapThread(th *Thread, format string, args ...any) {
 	th.State = TTrapped
 	th.trap = fmt.Errorf(format, args...)
+	c.traceThread(th)
 }
 
 // resolveChanEnd maps a resource-id register value to a channel end on

@@ -4,6 +4,7 @@ import (
 	"swallow/internal/energy"
 	"swallow/internal/noc"
 	"swallow/internal/sim"
+	"swallow/internal/trace"
 )
 
 // classOf maps an opcode to its energy class.
@@ -39,6 +40,7 @@ func (c *Core) refNow() uint32 {
 func (c *Core) blockOnChan(th *Thread, ce *noc.ChanEnd) {
 	th.State = TBlockedChan
 	th.blockedOn = ce
+	c.traceEmit(trace.KindChanBlock, int64(th.ID), int64(ce.ID()))
 	ce.SetWake(func() {
 		if th.State == TBlockedChan && th.blockedOn == ce {
 			c.kickThread(th)
@@ -306,10 +308,12 @@ func (c *Core) run(th *Thread, in *Instr, class energy.InstrClass, words uint32)
 		}
 		c.threads[tid].State = TReady
 		c.threads[tid].nextReady = c.k.Now()
+		c.traceThread(&c.threads[tid])
 		c.chargeInstr(th, class)
 	case OpTEND:
 		c.chargeInstr(th, class)
 		th.State = TDone
+		c.traceThread(th)
 		c.wakeJoiners(th.ID)
 		return
 	case OpTJOIN:
@@ -325,6 +329,7 @@ func (c *Core) run(th *Thread, in *Instr, class energy.InstrClass, words uint32)
 			c.chargeInstr(th, class)
 			th.State = TBlockedJoin
 			th.joinTarget = tid
+			c.traceThread(th)
 			return
 		}
 
@@ -463,6 +468,7 @@ func (c *Core) run(th *Thread, in *Instr, class energy.InstrClass, words uint32)
 		if int32(deadline-c.refNow()) > 0 {
 			c.chargeInstr(th, class)
 			th.State = TBlockedTime
+			c.traceThread(th)
 			when := c.k.Now() + sim.Time(int32(deadline-c.refNow()))*10*sim.Nanosecond
 			c.twaitTimers[th.ID].ArmAt(when)
 			// TWAIT completes when the deadline passes; PC advances now
@@ -512,6 +518,7 @@ func (c *Core) wakeJoiners(tid int) {
 		t := &c.threads[i]
 		if t.State == TBlockedJoin && t.joinTarget == tid {
 			t.State = TReady
+			c.traceThread(t)
 			c.scheduleIssue(c.alignUp(c.k.Now()))
 		}
 	}

@@ -5,6 +5,7 @@ import (
 
 	"swallow/internal/energy"
 	"swallow/internal/sim"
+	"swallow/internal/trace"
 )
 
 // Turbo is the core's execution fast path, two mechanisms deep:
@@ -351,6 +352,11 @@ func (g *turboGroup) absorb(kt sim.Time) *Core {
 func (g *turboGroup) run(first *Core) {
 	k := g.k
 	now := k.Now()
+	// rec is sampled once: recorders attach/detach only between runs,
+	// never mid-batch. batchStart/binstrs feed the TurboBatch span.
+	rec := k.Recorder()
+	batchStart := now
+	binstrs := int64(0)
 	deadline, hasDeadline := k.Deadline()
 	// The kernel's earliest registration is the batch horizon. It stays
 	// put for the whole batch — nothing arms mid-batch, and absorbing
@@ -394,16 +400,22 @@ func (g *turboGroup) run(first *Core) {
 				g.armPending()
 				cur.run(th, in, class, words)
 				cur.tInstrs++
+				binstrs++
 				if th.State == TReady {
 					th.nextReady = max(th.nextReady, now+cur.clk.Cycles(PipelineDepth))
 				}
 				cur.scheduleIssue(now + cur.clk.Period())
 				first.tBatches++
+				if rec != nil {
+					rec.EmitSpan(int64(batchStart), int64(now), trace.KindTurboBatch,
+						int32(first.node), binstrs, int64(slots+1))
+				}
 				return
 			}
 			if ok {
 				cur.run(th, in, class, words)
 				cur.tInstrs++
+				binstrs++
 			}
 			if th.State == TReady {
 				th.nextReady = max(th.nextReady, now+cur.clk.Cycles(PipelineDepth))
@@ -413,6 +425,10 @@ func (g *turboGroup) run(first *Core) {
 				g.armPending()
 				cur.scheduleIssue(now + cur.clk.Period())
 				first.tBatches++
+				if rec != nil {
+					rec.EmitSpan(int64(batchStart), int64(now), trace.KindTurboBatch,
+						int32(first.node), binstrs, int64(slots+1))
+				}
 				return
 			}
 			next = now + cur.clk.Period()
@@ -466,4 +482,8 @@ func (g *turboGroup) run(first *Core) {
 	}
 	g.armPending()
 	first.tBatches++
+	if rec != nil {
+		rec.EmitSpan(int64(batchStart), int64(now), trace.KindTurboBatch,
+			int32(first.node), binstrs, int64(slots))
+	}
 }
