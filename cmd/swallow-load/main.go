@@ -59,9 +59,16 @@ type sample struct {
 	latency  time.Duration
 	bytes    int64
 	hit      bool
+	worker   string // X-Worker: who rendered (routed deployments)
 	queueUs  int64
 	renderUs int64
 	err      error
+}
+
+// workerStats tallies one worker's share of a routed run.
+type workerStats struct {
+	Requests  int64 `json:"requests"`
+	CacheHits int64 `json:"cache_hits"`
 }
 
 // stats is the aggregated run report.
@@ -84,6 +91,11 @@ type stats struct {
 	ServerRenderMeanMS float64  `json:"server_render_mean_ms"`
 	ClientOverheadMS   float64  `json:"client_overhead_mean_ms"`
 	Artifacts          []string `json:"artifacts"`
+	// Workers splits the run per X-Worker responder — populated only
+	// when the server names one (a swallow-router fleet, or a worker
+	// answering through one). With cache-affinity routing each
+	// artifact's repeats should pile onto a single worker and hit.
+	Workers map[string]*workerStats `json:"workers,omitempty"`
 }
 
 func main() {
@@ -229,6 +241,7 @@ func fetch(client *http.Client, t target) sample {
 		latency: time.Since(start),
 		bytes:   nbytes,
 		hit:     resp.Header.Get("X-Cache") == "HIT",
+		worker:  resp.Header.Get("X-Worker"),
 		err:     err,
 	}
 	s.queueUs, _ = strconv.ParseInt(resp.Header.Get("X-Queue-Micros"), 10, 64)
@@ -324,6 +337,20 @@ func reduce(samples []sample, mix []target, wall time.Duration) stats {
 		if s.hit {
 			st.CacheHits++
 		}
+		if s.worker != "" {
+			if st.Workers == nil {
+				st.Workers = make(map[string]*workerStats)
+			}
+			ws := st.Workers[s.worker]
+			if ws == nil {
+				ws = &workerStats{}
+				st.Workers[s.worker] = ws
+			}
+			ws.Requests++
+			if s.hit {
+				ws.CacheHits++
+			}
+		}
 		st.Bytes += s.bytes
 		lats = append(lats, s.latency)
 		sum += s.latency
@@ -366,4 +393,17 @@ func report(st stats) {
 		st.MeanMS, st.P50MS, st.P95MS, st.P99MS, st.MaxMS)
 	fmt.Printf("server split ms: queue-wait %.2f   render %.2f   client overhead %.2f\n",
 		st.ServerQueueMeanMS, st.ServerRenderMeanMS, st.ClientOverheadMS)
+	if len(st.Workers) > 0 {
+		names := make([]string, 0, len(st.Workers))
+		for name := range st.Workers {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Printf("worker split:")
+		for _, name := range names {
+			ws := st.Workers[name]
+			fmt.Printf("   %s %d req / %d hit", name, ws.Requests, ws.CacheHits)
+		}
+		fmt.Println()
+	}
 }

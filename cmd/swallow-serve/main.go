@@ -20,6 +20,7 @@
 //	              [-pool-max-mb N] [-workers N] [-queue N]
 //	              [-cache-mb N] [-cache-entries N] [-cache-ttl D]
 //	              [-access-log=false] [-pprof]
+//	              [-join URL] [-advertise URL] [-drain-notice D]
 //
 // Observability: every request gets an X-Request-ID (inbound value
 // propagated, otherwise generated) and -access-log (default on) emits
@@ -30,6 +31,15 @@
 // goroutine profiles. GET /artifacts/{name}?trace=1 renders with the
 // flight recorder attached and returns table + Chrome trace JSON as a
 // multipart body (never cached).
+//
+// Cluster mode: -join http://router:9090 registers this worker with a
+// swallow-router at startup (retrying until the router answers), and
+// -advertise overrides the URL the router should reach it at. During
+// graceful shutdown the worker first flips /healthz to 503
+// {"state":"draining"} and notifies the router (POST /leave), waits
+// -drain-notice so probes observe the drain, and only then closes the
+// listener — so a router re-routes its keyspace before a single
+// request can hit a dead socket.
 //
 // SIGINT/SIGTERM shut down gracefully: the listener stops accepting,
 // in-flight requests finish, and the job queue drains every accepted
@@ -46,6 +56,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -54,7 +65,22 @@ import (
 	"swallow/internal/harness"
 	"swallow/internal/harness/sweep"
 	"swallow/internal/service/api"
+	"swallow/internal/service/cluster"
 )
+
+// advertiseURL derives the URL a router should reach this worker at:
+// the explicit -advertise value, else the listen address with an
+// unspecified host replaced by 127.0.0.1.
+func advertiseURL(advertise, addr string) string {
+	if advertise != "" {
+		return advertise
+	}
+	host := addr
+	if strings.HasPrefix(host, ":") {
+		host = "127.0.0.1" + host
+	}
+	return "http://" + host
+}
 
 func main() {
 	log.SetFlags(0)
@@ -74,6 +100,9 @@ func main() {
 	drain := flag.Duration("drain", time.Minute, "graceful shutdown budget for in-flight requests")
 	accessLog := flag.Bool("access-log", true, "write one structured JSON access-log line per request to stdout")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
+	join := flag.String("join", "", "router URL to register with at startup (cluster mode)")
+	advertise := flag.String("advertise", "", "URL the router should reach this worker at (default: derived from -addr)")
+	drainNotice := flag.Duration("drain-notice", 500*time.Millisecond, "cluster mode: how long /healthz advertises draining before the listener closes")
 	flag.Parse()
 
 	if *par < 1 {
@@ -119,6 +148,19 @@ func main() {
 	log.Printf("serving %d artifacts on %s (workers=%d queue=%d cache=%dMiB/%d entries)",
 		len(harness.Artifacts()), *addr, *workers, *queueCap, *cacheMB, *cacheEntries)
 
+	self := advertiseURL(*advertise, *addr)
+	if *join != "" {
+		go func() {
+			jctx, jcancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer jcancel()
+			if err := cluster.Join(jctx, *join, self, 0, 0); err != nil {
+				log.Printf("join %s: %v (serving standalone)", *join, err)
+				return
+			}
+			log.Printf("joined router %s as %s", *join, self)
+		}()
+	}
+
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
@@ -126,6 +168,22 @@ func main() {
 		log.Fatalf("listen: %v", err)
 	case sig := <-sigc:
 		log.Printf("%v: draining (budget %v)", sig, *drain)
+	}
+
+	// Flip /healthz to 503 draining and tell the router before the
+	// listener closes: the ring re-routes this worker's keyspace while
+	// requests still land on a live socket, so failover never surfaces
+	// a client-visible error.
+	srv.SetDraining(true)
+	if *join != "" {
+		lctx, lcancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := cluster.Leave(lctx, *join, self); err != nil {
+			log.Printf("leave %s: %v", *join, err)
+		}
+		lcancel()
+	}
+	if *drainNotice > 0 {
+		time.Sleep(*drainNotice)
 	}
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)

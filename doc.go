@@ -21,6 +21,8 @@
 //	internal/harness      artifact registry + parallel sweep engine
 //	internal/scenario     declarative scenario specs compiled to artifacts
 //	internal/service      serving layer: result cache, job queue, HTTP API
+//	internal/service/cluster  pluggable execution Backend, consistent hash
+//	                      ring, cache-affinity router over worker fleets
 //
 // Each experiment registers once with the harness registry (a name, a
 // description, a Run, a Render); the benchmarks in bench_test.go and
@@ -52,9 +54,20 @@
 // determinism makes cache hits byte-identical to cold runs — and
 // service/queue is a bounded job queue with worker pool, per-class
 // round-robin fairness, 429 backpressure and graceful drain;
-// service/api ties both behind the JSON endpoints. cmd/swallow-load is
-// the matching open/closed-loop load generator reporting throughput
-// and p50/p95/p99 latency, able to mix scenario POSTs into the load.
+// service/api ties both behind the JSON endpoints, rendering through
+// the pluggable service/cluster.Backend (in-process by default).
+// cmd/swallow-load is the matching open/closed-loop load generator
+// reporting throughput and p50/p95/p99 latency, able to mix scenario
+// POSTs into the load and split results per responding worker.
+//
+// service/cluster scales the service horizontally: cmd/swallow-router
+// fronts N swallow-serve workers and routes each request by the
+// canonical content key over a consistent hash ring (replicated
+// virtual nodes, sticky membership), so every worker's cache and
+// machine pool specialize on a slice of the keyspace. Determinism
+// makes failover safe — any worker renders byte-identical bodies —
+// and workers drain gracefully: healthz flips to 503 draining, the
+// router re-routes, then the listener closes.
 //
 // # Machine lifecycle
 //

@@ -20,6 +20,12 @@
 // the work on the worker pool instead and reports backpressure as
 // 429 + Retry-After when the queue is full.
 //
+// Renders execute through a pluggable cluster.Backend: the default is
+// the in-process Local backend over the harness registry (the
+// single-process swallow-serve deployment); any other implementation
+// — a cluster.Remote, a fleet — slots in behind the same cache,
+// singleflight and HTTP surface.
+//
 // POST /scenarios opens the experiment surface beyond the registry:
 // the body is a declarative internal/scenario spec (workload structure
 // x placement x operating point x sweep axes), compiled and validated
@@ -33,6 +39,7 @@
 package api
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -46,11 +53,10 @@ import (
 
 	"swallow/internal/core"
 	"swallow/internal/harness"
-	"swallow/internal/report"
 	"swallow/internal/scenario"
 	"swallow/internal/service/cache"
+	"swallow/internal/service/cluster"
 	"swallow/internal/service/queue"
-	"swallow/internal/trace"
 )
 
 // maxSpecBytes bounds a submitted scenario body.
@@ -80,17 +86,26 @@ type Options struct {
 	// AccessLog receives one structured JSON line per request (see
 	// accessRecord). Nil disables access logging.
 	AccessLog io.Writer
+	// Backend executes renders. Nil means the in-process
+	// cluster.Local over the harness registry — the single-process
+	// deployment. Plugging a cluster.Remote (or any other
+	// implementation) makes this server front remote execution with
+	// the same caching, singleflight and HTTP surface.
+	Backend cluster.Backend
 }
 
-// Server wires the registry, cache and queue behind one http.Handler.
+// Server wires the execution backend, cache and queue behind one
+// http.Handler.
 type Server struct {
 	def, quick harness.Config
+	backend    cluster.Backend
 	cache      *cache.Cache
 	queue      *queue.Queue
 	met        *metrics
 	mux        *http.ServeMux
 	accessLog  io.Writer
 	reqSeq     atomic.Uint64
+	draining   atomic.Bool
 }
 
 // New builds a Server and starts its worker pool. Callers must Close
@@ -119,9 +134,13 @@ func New(opts Options) *Server {
 	if opts.JobRetention <= 0 {
 		opts.JobRetention = 64
 	}
+	if opts.Backend == nil {
+		opts.Backend = cluster.NewLocal()
+	}
 	s := &Server{
 		def:       opts.DefaultConfig,
 		quick:     opts.QuickConfig,
+		backend:   opts.Backend,
 		cache:     cache.New(opts.CacheBytes, opts.CacheEntries, cache.WithTTL(opts.CacheTTL)),
 		queue:     queue.New(opts.Workers, opts.QueueCapacity, opts.JobRetention),
 		met:       newMetrics(),
@@ -158,6 +177,16 @@ func (s *Server) Handler() http.Handler {
 // accepting connections.
 func (s *Server) Close() { s.queue.Close() }
 
+// SetDraining flips the graceful-shutdown state. While draining,
+// /healthz answers 503 with state "draining" — so a fronting router
+// removes this worker before the listener closes — and new async job
+// submissions are refused; in-flight and routed-synchronous work
+// still completes.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports the drain state.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
 // writeJSON writes v as a JSON response.
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
@@ -172,58 +201,24 @@ func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
-// configFromQuery derives the render config from URL query parameters:
-// quick=1 starts from the quick config, iters / payloads / placements
-// override the corresponding Config fields.
+// configFromQuery derives the render config from URL query parameters
+// via the cluster package's shared dialect (the router uses the same
+// parse to compute matching affinity keys): quick=1 starts from the
+// quick config, iters / payloads / placements override the
+// corresponding Config fields.
 func (s *Server) configFromQuery(q url.Values) (harness.Config, error) {
-	cfg := s.def
-	if v := q.Get("quick"); v != "" {
-		quick, err := strconv.ParseBool(v)
-		if err != nil {
-			return cfg, fmt.Errorf("bad quick=%q: %v", v, err)
-		}
-		if quick {
-			cfg = s.quick
-		}
-	}
-	if v := q.Get("iters"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n <= 0 {
-			return cfg, fmt.Errorf("bad iters=%q: want a positive integer", v)
-		}
-		cfg.Iters = n
-	}
-	if v := q.Get("payloads"); v != "" {
-		var payloads []int
-		for _, part := range strings.Split(v, ",") {
-			n, err := strconv.Atoi(strings.TrimSpace(part))
-			if err != nil || n <= 0 {
-				return cfg, fmt.Errorf("bad payloads=%q: want comma-separated positive integers", v)
-			}
-			payloads = append(payloads, n)
-		}
-		cfg.GoodputPayloads = payloads
-	}
-	if v := q.Get("placements"); v != "" {
-		var names []string
-		for _, part := range strings.Split(v, ",") {
-			if part = strings.TrimSpace(part); part != "" {
-				names = append(names, part)
-			}
-		}
-		if len(names) == 0 {
-			return cfg, fmt.Errorf("bad placements=%q: no names", v)
-		}
-		cfg.LatencyPlacements = names
-	}
-	return cfg.Canonical(), nil
+	return cluster.ConfigFromQuery(s.def, s.quick, q)
 }
 
 // runStatus maps a render error to its HTTP status: config errors are
-// the caller's fault (400), anything else is a server fault (500).
+// the caller's fault (400), unknown artifacts are 404, anything else
+// is a server fault (500).
 func runStatus(err error) int {
 	if errors.Is(err, harness.ErrBadConfig) {
 		return http.StatusBadRequest
+	}
+	if errors.Is(err, cluster.ErrUnknownArtifact) {
+		return http.StatusNotFound
 	}
 	return http.StatusInternalServerError
 }
@@ -235,15 +230,19 @@ type artifactInfo struct {
 	URL         string `json:"url"`
 }
 
-// handleArtifacts serves the registry index.
+// handleArtifacts serves the backend's artifact index.
 func (s *Server) handleArtifacts(w http.ResponseWriter, r *http.Request) {
-	arts := harness.Artifacts()
-	out := make([]artifactInfo, len(arts))
-	for i, a := range arts {
+	infos, err := s.backend.List(r.Context())
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "listing artifacts: %v", err)
+		return
+	}
+	out := make([]artifactInfo, len(infos))
+	for i, info := range infos {
 		out[i] = artifactInfo{
-			Name:        a.Name,
-			Description: a.Description,
-			URL:         "/artifacts/" + url.PathEscape(a.Name),
+			Name:        info.Name,
+			Description: info.Description,
+			URL:         "/artifacts/" + url.PathEscape(info.Name),
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -262,22 +261,17 @@ func (s *Server) render(a *harness.Artifact, cfg harness.Config) (cache.Entry, b
 	cfg = a.Project(cfg)
 	key := cache.Key(a.Name, cfg)
 	var renderDur time.Duration
-	entry, hit, err := s.cache.GetOrFill(key, func() (body []byte, err error) {
-		// Shared side of the trace gate: plain renders proceed
-		// concurrently but never overlap an Exclusive traced run,
-		// whose session would otherwise record their machines.
-		trace.Shared(func() {
-			start := time.Now()
-			var t *report.Table
-			t, err = a.Table(cfg)
-			if err != nil {
-				return
-			}
-			renderDur = time.Since(start)
-			s.met.observe(a.Name, renderDur)
-			body = []byte(t.String())
-		})
-		return body, err
+	entry, hit, err := s.cache.GetOrFill(key, func() ([]byte, error) {
+		// The fill is shared across requests by singleflight, so it
+		// runs under its own context, not any one caller's.
+		res, err := s.backend.Render(context.Background(),
+			cluster.Request{Artifact: a.Name, Config: cfg})
+		if err != nil {
+			return nil, err
+		}
+		renderDur = time.Duration(res.RenderMicros) * time.Microsecond
+		s.met.observe(a.Name, renderDur)
+		return res.Body, nil
 	})
 	return entry, hit, renderDur, err
 }
@@ -353,19 +347,15 @@ func (s *Server) renderScenario(c *scenario.Compiled, cfg harness.Config) (cache
 	cfg = c.Artifact.Project(cfg)
 	key := cache.Key("scenario:"+c.Hash, cfg)
 	var renderDur time.Duration
-	entry, hit, err := s.cache.GetOrFill(key, func() (body []byte, err error) {
-		trace.Shared(func() {
-			start := time.Now()
-			var t *report.Table
-			t, err = c.Artifact.Table(cfg)
-			if err != nil {
-				return
-			}
-			renderDur = time.Since(start)
-			s.met.observe("scenario", renderDur)
-			body = []byte(t.String())
-		})
-		return body, err
+	entry, hit, err := s.cache.GetOrFill(key, func() ([]byte, error) {
+		res, err := s.backend.Render(context.Background(),
+			cluster.Request{Scenario: &c.Spec, Config: cfg})
+		if err != nil {
+			return nil, err
+		}
+		renderDur = time.Duration(res.RenderMicros) * time.Microsecond
+		s.met.observe("scenario", renderDur)
+		return res.Body, nil
 	})
 	return entry, hit, renderDur, err
 }
@@ -449,8 +439,13 @@ type jobView struct {
 }
 
 // handleSubmit accepts an async render job. A saturated queue is
-// backpressure: 429 with Retry-After.
+// backpressure: 429 with Retry-After; a draining server refuses new
+// jobs outright (503) since it cannot promise to retain the result.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server draining; resubmit elsewhere")
+		return
+	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "reading job body: %v", err)
@@ -585,10 +580,18 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, view)
 }
 
-// handleHealth is the liveness probe.
+// handleHealth is the liveness probe. During graceful shutdown it
+// answers 503 with state "draining" so a fronting router removes
+// this worker from its ring before the listener closes, instead of
+// discovering the death mid-request.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":      "ok",
+	state, code := cluster.StateOK, http.StatusOK
+	if s.draining.Load() {
+		state, code = cluster.StateDraining, http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":      state,
+		"state":       state,
 		"artifacts":   len(harness.Artifacts()),
 		"queue_depth": s.queue.Depth(),
 	})

@@ -1,0 +1,287 @@
+// Package cluster turns the single-process serving layer into a
+// sharded fleet. It has three parts:
+//
+//   - Backend: one execution interface — render an artifact or a
+//     scenario under a harness.Config, list the registry, report
+//     health — with an in-process implementation (Local) wrapping the
+//     harness registry and an HTTP client implementation (Remote)
+//     speaking to a running swallow-serve. The API layer and drivers
+//     program against Backend, so one process and a fleet are the
+//     same code path (the ReqBench platform-adapter pattern).
+//
+//   - Ring: a consistent hash ring with replicated virtual nodes over
+//     worker names. Requests are keyed by the same canonical content
+//     hash the result cache uses — sha256 of (artifact, projected
+//     Config) or of a scenario spec — so each worker's LRU cache and
+//     shape-keyed machine pool specialize on a stable slice of the
+//     keyspace, and membership changes move only ~K/N keys.
+//
+//   - Router: an http.Handler fronting N workers. It routes
+//     /artifacts, /scenarios and /jobs by ring lookup, fails over to
+//     the ring successor when the owner is down or draining, probes
+//     worker health periodically, accepts registrations (POST /join)
+//     and drains (POST /leave), forwards X-Request-ID, stamps
+//     X-Worker, and serves merged /metrics and /healthz.
+//
+// Determinism makes routing purely a cache/pool-affinity
+// optimization: any worker renders byte-identical tables, so a
+// failover never changes a response body, only who computes it.
+package cluster
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"swallow/internal/harness"
+	"swallow/internal/scenario"
+	"swallow/internal/service/cache"
+	"swallow/internal/trace"
+)
+
+// ErrUnknownArtifact marks render requests naming an artifact the
+// registry does not hold. Servers map it to 404.
+var ErrUnknownArtifact = errors.New("cluster: unknown artifact")
+
+// Request names one render: a registered artifact or an inline
+// scenario spec (exclusive), plus the harness config to render under.
+type Request struct {
+	// Artifact is a registered artifact name; empty when Scenario is
+	// set.
+	Artifact string
+	// Scenario is a parsed scenario spec to compile and render;
+	// exclusive with Artifact.
+	Scenario *scenario.Spec
+	// Config is the render configuration. Implementations project it
+	// onto the knobs the artifact reads before running.
+	Config harness.Config
+}
+
+// Result is one rendered artifact plus its serving metadata.
+type Result struct {
+	// Body is the rendered table text.
+	Body []byte
+	// ContentHash is the hex sha256 of Body (the HTTP ETag value).
+	ContentHash string
+	// ScenarioHash is the spec's canonical content hash for scenario
+	// renders, empty for named artifacts.
+	ScenarioHash string
+	// RenderMicros is the simulation time; for remote renders it is
+	// the worker-reported X-Render-Micros (zero on a worker cache
+	// hit). QueueMicros is the worker-side wait (remote only).
+	RenderMicros int64
+	QueueMicros  int64
+	// Cache is the remote worker's X-Cache verdict (HIT | MISS);
+	// empty for local renders, which do not cache.
+	Cache string
+	// Worker identifies who rendered: "local" or the remote worker
+	// name (host:port).
+	Worker string
+}
+
+// Info is one artifact registry row.
+type Info struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+}
+
+// Health states reported by Healthz.
+const (
+	StateOK       = "ok"
+	StateDraining = "draining"
+)
+
+// Health is a backend liveness snapshot.
+type Health struct {
+	// State is StateOK for a serving backend, StateDraining while it
+	// is shutting down gracefully (routers must stop sending work).
+	State string `json:"state"`
+	// Artifacts is the registry size; QueueDepth the async jobs
+	// accepted but unfinished.
+	Artifacts  int `json:"artifacts"`
+	QueueDepth int `json:"queue_depth"`
+}
+
+// Backend is the pluggable execution surface: the serving layer and
+// the load driver program against it, whether the work runs in
+// process (Local), on one remote worker (Remote), or across a fleet
+// (Router fronts Remotes speaking the same HTTP API).
+type Backend interface {
+	// Render runs one artifact or scenario to its rendered bytes.
+	Render(ctx context.Context, req Request) (Result, error)
+	// List enumerates the registered artifacts.
+	List(ctx context.Context) ([]Info, error)
+	// Healthz reports backend liveness and drain state.
+	Healthz(ctx context.Context) (Health, error)
+}
+
+// Local is the in-process Backend: requests run directly against the
+// harness registry (and the scenario compiler) in this process,
+// under the shared side of the trace gate exactly like the original
+// api handlers it was extracted from.
+type Local struct{}
+
+// NewLocal returns the in-process Backend.
+func NewLocal() *Local { return &Local{} }
+
+// Render runs the artifact or scenario synchronously in this process.
+func (l *Local) Render(_ context.Context, req Request) (Result, error) {
+	var (
+		a    *harness.Artifact
+		hash string
+	)
+	if req.Scenario != nil {
+		c, err := scenario.Compile(*req.Scenario)
+		if err != nil {
+			return Result{}, err
+		}
+		a, hash = c.Artifact, c.Hash
+	} else {
+		if a = harness.Lookup(req.Artifact); a == nil {
+			return Result{}, fmt.Errorf("%w: %q", ErrUnknownArtifact, req.Artifact)
+		}
+	}
+	cfg := a.Project(req.Config)
+	var (
+		body []byte
+		dur  time.Duration
+		rerr error
+	)
+	// Shared side of the trace gate: plain renders proceed
+	// concurrently but never overlap an Exclusive traced run, whose
+	// session would otherwise record their machines.
+	trace.Shared(func() {
+		start := time.Now()
+		t, err := a.Table(cfg)
+		if err != nil {
+			rerr = err
+			return
+		}
+		dur = time.Since(start)
+		body = []byte(t.String())
+	})
+	if rerr != nil {
+		return Result{}, rerr
+	}
+	sum := sha256.Sum256(body)
+	return Result{
+		Body:         body,
+		ContentHash:  hex.EncodeToString(sum[:]),
+		ScenarioHash: hash,
+		RenderMicros: dur.Microseconds(),
+		Worker:       "local",
+	}, nil
+}
+
+// List enumerates the in-process registry.
+func (l *Local) List(context.Context) ([]Info, error) {
+	arts := harness.Artifacts()
+	out := make([]Info, len(arts))
+	for i, a := range arts {
+		out[i] = Info{Name: a.Name, Description: a.Description}
+	}
+	return out, nil
+}
+
+// Healthz reports the in-process registry state; a Local backend is
+// never draining (drain is a serving-process concern).
+func (l *Local) Healthz(context.Context) (Health, error) {
+	return Health{State: StateOK, Artifacts: len(harness.Artifacts())}, nil
+}
+
+// ConfigFromQuery derives a render config from URL query parameters:
+// quick=1 swaps the base config for quick, iters / payloads /
+// placements override the corresponding Config fields. It is the one
+// query dialect of the serving layer — the worker API uses it to
+// parse requests and the router uses it to compute the same affinity
+// key the worker will cache under.
+func ConfigFromQuery(def, quick harness.Config, q url.Values) (harness.Config, error) {
+	cfg := def
+	if v := q.Get("quick"); v != "" {
+		on, err := strconv.ParseBool(v)
+		if err != nil {
+			return cfg, fmt.Errorf("bad quick=%q: %v", v, err)
+		}
+		if on {
+			cfg = quick
+		}
+	}
+	if v := q.Get("iters"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			return cfg, fmt.Errorf("bad iters=%q: want a positive integer", v)
+		}
+		cfg.Iters = n
+	}
+	if v := q.Get("payloads"); v != "" {
+		var payloads []int
+		for _, part := range strings.Split(v, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n <= 0 {
+				return cfg, fmt.Errorf("bad payloads=%q: want comma-separated positive integers", v)
+			}
+			payloads = append(payloads, n)
+		}
+		cfg.GoodputPayloads = payloads
+	}
+	if v := q.Get("placements"); v != "" {
+		var names []string
+		for _, part := range strings.Split(v, ",") {
+			if part = strings.TrimSpace(part); part != "" {
+				names = append(names, part)
+			}
+		}
+		if len(names) == 0 {
+			return cfg, fmt.Errorf("bad placements=%q: no names", v)
+		}
+		cfg.LatencyPlacements = names
+	}
+	return cfg.Canonical(), nil
+}
+
+// configQuery is the inverse of ConfigFromQuery for projected
+// configs: only knobs the render actually uses survive projection, so
+// zero/nil fields are simply omitted and the worker's own projection
+// reconstructs an identical cache key.
+func configQuery(cfg harness.Config) url.Values {
+	q := url.Values{}
+	if cfg.Iters > 0 {
+		q.Set("iters", strconv.Itoa(cfg.Iters))
+	}
+	if len(cfg.GoodputPayloads) > 0 {
+		parts := make([]string, len(cfg.GoodputPayloads))
+		for i, p := range cfg.GoodputPayloads {
+			parts[i] = strconv.Itoa(p)
+		}
+		q.Set("payloads", strings.Join(parts, ","))
+	}
+	if len(cfg.LatencyPlacements) > 0 {
+		q.Set("placements", strings.Join(cfg.LatencyPlacements, ","))
+	}
+	return q
+}
+
+// ArtifactKey is the affinity key for rendering a named artifact: the
+// canonical cache key — sha256 over (artifact, projected config) —
+// when the artifact is registered, so the router's routing key equals
+// the owning worker's cache key exactly. Unknown names key on the
+// raw (name, config) pair; every worker will 404 them identically.
+func ArtifactKey(name string, cfg harness.Config) string {
+	if a := harness.Lookup(name); a != nil {
+		cfg = a.Project(cfg)
+	}
+	return cache.Key(name, cfg)
+}
+
+// ScenarioKey is the affinity key for a scenario spec: the canonical
+// cache key over the spec's content hash and the projected config,
+// matching the worker's scenario cache entry.
+func ScenarioKey(c *scenario.Compiled, cfg harness.Config) string {
+	return cache.Key("scenario:"+c.Hash, c.Artifact.Project(cfg))
+}

@@ -1,0 +1,602 @@
+// End-to-end cluster tests: real api.Server workers behind httptest
+// listeners, fronted by Remote backends and a Router. Like the api
+// tests, the artifacts are synthetic and registered only in this test
+// binary, so the suite exercises routing, affinity, failover and
+// drain without paying for real simulations.
+package cluster_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"swallow/internal/harness"
+	"swallow/internal/report"
+	"swallow/internal/service/api"
+	"swallow/internal/service/cluster"
+)
+
+func init() {
+	harness.Register(harness.Spec[string]{
+		Name:        "echo",
+		Description: "test artifact echoing its config",
+		Uses:        harness.UsesIters | harness.UsesGoodputPayloads,
+		Run: func(cfg harness.Config) (string, error) {
+			return fmt.Sprintf("iters=%d payloads=%v", cfg.Iters, cfg.GoodputPayloads), nil
+		},
+		Render: func(s string) *report.Table {
+			t := report.NewTable("echo", "value")
+			t.AddRow(s)
+			return t
+		},
+	})
+	harness.Register(harness.Spec[int]{
+		Name:        "const",
+		Description: "test artifact ignoring its config",
+		Run:         func(harness.Config) (int, error) { return 7, nil },
+		Render: func(int) *report.Table {
+			t := report.NewTable("const", "v")
+			t.AddRow("7")
+			return t
+		},
+	})
+	harness.Register(harness.Spec[int]{
+		Name:        "fail",
+		Description: "test artifact that always errors",
+		Run:         func(harness.Config) (int, error) { return 0, fmt.Errorf("deliberate") },
+		Render:      func(int) *report.Table { return report.NewTable("never") },
+	})
+}
+
+// newWorker spins up one real serving process: api.Server + listener.
+func newWorker(t *testing.T, opts api.Options) (*api.Server, *httptest.Server) {
+	t.Helper()
+	s := api.New(opts)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(s.Close)
+	return s, ts
+}
+
+// newRouter builds a router fronting the given worker URLs, probed
+// once so the fleet is routable, plus its own listener.
+func newRouter(t *testing.T, opts cluster.RouterOptions, workerURLs ...string) (*cluster.Router, *httptest.Server) {
+	t.Helper()
+	rt := cluster.NewRouter(opts)
+	for _, u := range workerURLs {
+		if _, err := rt.AddWorker(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt.ProbeAll()
+	ts := httptest.NewServer(rt)
+	t.Cleanup(ts.Close)
+	t.Cleanup(rt.Close)
+	return rt, ts
+}
+
+func get(t *testing.T, url string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, string(body)
+}
+
+// TestLocalBackendMatchesDirect: the extracted Local backend renders
+// exactly what the registry renders directly.
+func TestLocalBackendMatchesDirect(t *testing.T) {
+	local := cluster.NewLocal()
+	cfg := harness.Config{Iters: 123, GoodputPayloads: []int{8, 64}}
+	res, err := local.Render(context.Background(), cluster.Request{Artifact: "echo", Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := harness.Lookup("echo")
+	tbl, err := a.Table(a.Project(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Body) != tbl.String() {
+		t.Fatalf("Local render differs from direct render:\n%s\nvs\n%s", res.Body, tbl.String())
+	}
+	if res.Worker != "local" || res.ContentHash == "" {
+		t.Fatalf("metadata: worker=%q hash=%q", res.Worker, res.ContentHash)
+	}
+	if _, err := local.Render(context.Background(), cluster.Request{Artifact: "nope"}); !errors.Is(err, cluster.ErrUnknownArtifact) {
+		t.Fatalf("unknown artifact: got %v; want ErrUnknownArtifact", err)
+	}
+}
+
+// TestRemoteBackend: the HTTP backend returns byte-identical bodies to
+// the in-process one, reports the worker's cache verdicts, lists the
+// registry, and maps 404 to ErrUnknownArtifact.
+func TestRemoteBackend(t *testing.T) {
+	_, ts := newWorker(t, api.Options{})
+	remote, err := cluster.NewRemote(ts.URL, cluster.RemoteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	req := cluster.Request{Artifact: "echo", Config: harness.Config{Iters: 77}}
+
+	res, err := remote.Render(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := cluster.NewLocal().Render(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res.Body, want.Body) {
+		t.Fatalf("remote body differs from local:\n%s\nvs\n%s", res.Body, want.Body)
+	}
+	if res.ContentHash != want.ContentHash {
+		t.Fatalf("content hash: remote %q, local %q", res.ContentHash, want.ContentHash)
+	}
+	if res.Cache != "MISS" {
+		t.Fatalf("first render X-Cache = %q; want MISS", res.Cache)
+	}
+	if res2, err := remote.Render(ctx, req); err != nil || res2.Cache != "HIT" {
+		t.Fatalf("repeat render: cache=%q err=%v; want HIT", res2.Cache, err)
+	}
+
+	infos, err := remote.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make(map[string]bool, len(infos))
+	for _, in := range infos {
+		names[in.Name] = true
+	}
+	if !names["echo"] || !names["const"] {
+		t.Fatalf("List missing registered artifacts: %v", infos)
+	}
+
+	h, err := remote.Healthz(ctx)
+	if err != nil || h.State != cluster.StateOK {
+		t.Fatalf("Healthz = %+v, %v; want ok", h, err)
+	}
+
+	if _, err := remote.Render(ctx, cluster.Request{Artifact: "nope"}); !errors.Is(err, cluster.ErrUnknownArtifact) {
+		t.Fatalf("unknown artifact over HTTP: got %v; want ErrUnknownArtifact", err)
+	}
+	if _, err := remote.Render(ctx, cluster.Request{Artifact: "fail"}); err == nil {
+		t.Fatal("failing artifact: want an error")
+	}
+}
+
+// TestRemoteDrainHealthz: a draining worker's 503 {"state":
+// "draining"} is a successful probe reporting drain, not an error.
+func TestRemoteDrainHealthz(t *testing.T) {
+	srv, ts := newWorker(t, api.Options{})
+	remote, err := cluster.NewRemote(ts.URL, cluster.RemoteOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetDraining(true)
+	h, err := remote.Healthz(context.Background())
+	if err != nil {
+		t.Fatalf("draining probe errored: %v", err)
+	}
+	if h.State != cluster.StateDraining {
+		t.Fatalf("state = %q; want draining", h.State)
+	}
+}
+
+// flakyListener closes its first fail connections immediately, so the
+// client sees transport errors before any HTTP response — the exact
+// failure mode the Remote's bounded retry-with-backoff must absorb.
+type flakyListener struct {
+	net.Listener
+	fail  int32
+	tries atomic.Int32
+}
+
+func (l *flakyListener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.Listener.Accept()
+		if err != nil {
+			return c, err
+		}
+		if l.tries.Add(1) <= l.fail {
+			c.Close()
+			continue
+		}
+		return c, nil
+	}
+}
+
+// TestRemoteRetryOnConnectFailure: two killed connections, then
+// success — the request succeeds without the caller seeing either
+// failure.
+func TestRemoteRetryOnConnectFailure(t *testing.T) {
+	srv := api.New(api.Options{})
+	t.Cleanup(srv.Close)
+	fl := &flakyListener{fail: 2}
+	var err error
+	fl.Listener, err = net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := httptest.NewUnstartedServer(srv.Handler())
+	flaky.Listener.Close()
+	flaky.Listener = fl
+	flaky.Start()
+	t.Cleanup(flaky.Close)
+
+	remote, err := cluster.NewRemote(flaky.URL, cluster.RemoteOptions{Retries: 3, Backoff: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := remote.Render(context.Background(), cluster.Request{Artifact: "const"})
+	if err != nil {
+		t.Fatalf("render through flaky listener: %v (after %d accepts)", err, fl.tries.Load())
+	}
+	if !strings.Contains(string(res.Body), "7") {
+		t.Fatalf("unexpected body: %s", res.Body)
+	}
+	if fl.tries.Load() < 3 {
+		t.Fatalf("expected >= 3 connection attempts, saw %d", fl.tries.Load())
+	}
+}
+
+// TestRouterAffinityAndFailover is the cluster's core contract in one
+// flow: repeated identical requests ride one warm worker (same
+// X-Worker, HITs after the first), and killing that worker fails over
+// to the ring successor with zero client-visible errors and an
+// identical body.
+func TestRouterAffinityAndFailover(t *testing.T) {
+	_, w1 := newWorker(t, api.Options{})
+	_, w2 := newWorker(t, api.Options{})
+	rt, rts := newRouter(t, cluster.RouterOptions{}, w1.URL, w2.URL)
+
+	url := rts.URL + "/artifacts/echo?iters=321"
+	var owner string
+	var firstBody string
+	for i := 0; i < 4; i++ {
+		resp, body := get(t, url)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: %s: %s", i, resp.Status, body)
+		}
+		wk := resp.Header.Get("X-Worker")
+		if wk == "" {
+			t.Fatalf("request %d: no X-Worker stamp", i)
+		}
+		switch i {
+		case 0:
+			owner, firstBody = wk, body
+			if c := resp.Header.Get("X-Cache"); c != "MISS" {
+				t.Fatalf("first request X-Cache = %q; want MISS", c)
+			}
+		default:
+			if wk != owner {
+				t.Fatalf("request %d landed on %s; want affinity to %s", i, wk, owner)
+			}
+			if c := resp.Header.Get("X-Cache"); c != "HIT" {
+				t.Fatalf("request %d X-Cache = %q; want HIT on the warm worker", i, c)
+			}
+			if body != firstBody {
+				t.Fatalf("request %d body differs from first", i)
+			}
+		}
+	}
+
+	// Kill the owner; the very next request must succeed on the
+	// survivor with the identical body.
+	if owner == hostOf(w1.URL) {
+		w1.Close()
+	} else {
+		w2.Close()
+	}
+	resp, body := get(t, url)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-kill request failed: %s: %s", resp.Status, body)
+	}
+	survivor := resp.Header.Get("X-Worker")
+	if survivor == owner || survivor == "" {
+		t.Fatalf("post-kill request served by %q; want the other worker", survivor)
+	}
+	if body != firstBody {
+		t.Fatal("failover changed the response body; renders must be deterministic")
+	}
+	if got := rt.WorkerStates()[owner]; got != "down" {
+		t.Fatalf("killed worker state = %q; want down after data-path failure", got)
+	}
+}
+
+func hostOf(url string) string { return strings.TrimPrefix(url, "http://") }
+
+// TestRouterDrain: a worker that reports draining stops receiving new
+// requests after the next probe, while requests keep succeeding on
+// the survivor.
+func TestRouterDrain(t *testing.T) {
+	s1, w1 := newWorker(t, api.Options{})
+	s2, w2 := newWorker(t, api.Options{})
+	rt, rts := newRouter(t, cluster.RouterOptions{}, w1.URL, w2.URL)
+
+	resp, _ := get(t, rts.URL+"/artifacts/const")
+	owner := resp.Header.Get("X-Worker")
+	if owner == hostOf(w1.URL) {
+		s1.SetDraining(true)
+	} else {
+		s2.SetDraining(true)
+	}
+	rt.ProbeAll()
+	if st := rt.WorkerStates()[owner]; st != "draining" {
+		t.Fatalf("owner state = %q after drain probe; want draining", st)
+	}
+	for i := 0; i < 3; i++ {
+		resp, body := get(t, rts.URL+"/artifacts/const")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request during drain: %s: %s", resp.Status, body)
+		}
+		if wk := resp.Header.Get("X-Worker"); wk == owner {
+			t.Fatalf("request %d routed to draining worker %s", i, owner)
+		}
+	}
+}
+
+// TestRouterScenario: spec submissions route by content hash with the
+// same affinity and caching as artifact renders, and the body matches
+// a direct worker submission byte for byte.
+func TestRouterScenario(t *testing.T) {
+	const spec = `{
+		"name": "links-probe",
+		"grid": {"slices_x": 1, "slices_y": 1},
+		"workload": {
+			"structure": "traffic",
+			"flows": [{
+				"src": {"x": 0, "y": 0, "layer": "V"},
+				"dst": {"x": 0, "y": 0, "layer": "H"},
+				"tokens": 400, "packet_tokens": 20
+			}]
+		},
+		"sweep": [{"param": "links", "ints": [1, 4]}]
+	}`
+	_, w1 := newWorker(t, api.Options{})
+	_, w2 := newWorker(t, api.Options{})
+	_, rts := newRouter(t, cluster.RouterOptions{}, w1.URL, w2.URL)
+
+	post := func(url string) (*http.Response, string) {
+		resp, err := http.Post(url+"/scenarios?quick=1", "application/json", strings.NewReader(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp, string(body)
+	}
+	resp, routed := post(rts.URL)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("routed scenario: %s: %s", resp.Status, routed)
+	}
+	owner := resp.Header.Get("X-Worker")
+	if owner == "" || resp.Header.Get("X-Scenario-Hash") == "" {
+		t.Fatalf("missing routing metadata: worker=%q hash=%q", owner, resp.Header.Get("X-Scenario-Hash"))
+	}
+	resp2, again := post(rts.URL)
+	if resp2.Header.Get("X-Worker") != owner || resp2.Header.Get("X-Cache") != "HIT" {
+		t.Fatalf("repeat scenario: worker=%q cache=%q; want %q + HIT",
+			resp2.Header.Get("X-Worker"), resp2.Header.Get("X-Cache"), owner)
+	}
+	if again != routed {
+		t.Fatal("repeat scenario body differs")
+	}
+	// Byte-identical to a direct submission on either worker.
+	_, direct := post(w1.URL)
+	if routed != direct {
+		t.Fatalf("routed body differs from direct:\n%s\nvs\n%s", routed, direct)
+	}
+}
+
+// TestRouterJobs: async submissions land on the keyed worker and the
+// poll returns to the same process even though job IDs are
+// worker-local.
+func TestRouterJobs(t *testing.T) {
+	_, w1 := newWorker(t, api.Options{})
+	_, w2 := newWorker(t, api.Options{})
+	_, rts := newRouter(t, cluster.RouterOptions{}, w1.URL, w2.URL)
+
+	resp, err := http.Post(rts.URL+"/jobs", "application/json",
+		strings.NewReader(`{"artifact": "echo", "config": {"iters": 55}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %s: %s", resp.Status, blob)
+	}
+	owner := resp.Header.Get("X-Worker")
+	var view struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+		Result string `json:"result"`
+	}
+	if err := json.Unmarshal(blob, &view); err != nil || view.ID == "" {
+		t.Fatalf("submit body %s: %v", blob, err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, body := get(t, rts.URL+"/jobs/"+view.ID)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("poll: %s: %s", resp.Status, body)
+		}
+		if wk := resp.Header.Get("X-Worker"); wk != owner {
+			t.Fatalf("poll landed on %q; job lives on %q", wk, owner)
+		}
+		if err := json.Unmarshal([]byte(body), &view); err != nil {
+			t.Fatal(err)
+		}
+		if view.Status == "done" {
+			if !strings.Contains(view.Result, "iters=55") {
+				t.Fatalf("job result %q missing render", view.Result)
+			}
+			return
+		}
+		if view.Status == "failed" || time.Now().After(deadline) {
+			t.Fatalf("job did not finish: %+v", view)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRouterRequestIDAndTrace: X-Request-ID propagates client →
+// router → worker → response, and ?trace=1 renders its multipart
+// bundle on the owning worker through the router.
+func TestRouterRequestIDAndTrace(t *testing.T) {
+	_, w1 := newWorker(t, api.Options{})
+	_, rts := newRouter(t, cluster.RouterOptions{}, w1.URL)
+
+	req, _ := http.NewRequest(http.MethodGet, rts.URL+"/artifacts/const", nil)
+	req.Header.Set("X-Request-ID", "cluster-test-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if id := resp.Header.Get("X-Request-ID"); id != "cluster-test-42" {
+		t.Fatalf("X-Request-ID = %q; want the inbound id echoed end-to-end", id)
+	}
+
+	resp, body := get(t, rts.URL+"/artifacts/const?trace=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced render: %s: %s", resp.Status, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "multipart/") {
+		t.Fatalf("traced render Content-Type = %q; want multipart", ct)
+	}
+	if c := resp.Header.Get("X-Cache"); c != "BYPASS" {
+		t.Fatalf("traced render X-Cache = %q; want BYPASS", c)
+	}
+}
+
+// TestRouterErrorsRelayedVerbatim: worker-produced statuses are
+// answers, not failures — no failover, body passed through.
+func TestRouterErrorsRelayedVerbatim(t *testing.T) {
+	_, w1 := newWorker(t, api.Options{})
+	_, rts := newRouter(t, cluster.RouterOptions{}, w1.URL)
+
+	resp, body := get(t, rts.URL+"/artifacts/nope")
+	if resp.StatusCode != http.StatusNotFound || !strings.Contains(body, "unknown artifact") {
+		t.Fatalf("unknown artifact: %s: %s", resp.Status, body)
+	}
+	resp, body = get(t, rts.URL+"/artifacts/echo?iters=banana")
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(body, "iters") {
+		t.Fatalf("bad config must forward to the worker's 400: %s: %s", resp.Status, body)
+	}
+	resp, _ = get(t, rts.URL+"/artifacts/fail")
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("failing artifact: %s; want 500 relayed", resp.Status)
+	}
+}
+
+// TestRouterNoWorkers: an empty (or fully dead) fleet answers 503.
+func TestRouterNoWorkers(t *testing.T) {
+	_, rts := newRouter(t, cluster.RouterOptions{})
+	resp, body := get(t, rts.URL+"/artifacts/const")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("empty fleet: %s: %s; want 503", resp.Status, body)
+	}
+	resp, body = get(t, rts.URL+"/healthz")
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(body, "degraded") {
+		t.Fatalf("empty-fleet healthz: %s: %s; want degraded 503", resp.Status, body)
+	}
+}
+
+// TestRouterJoinLeave: workers self-register over HTTP and deregister
+// into draining, exactly as swallow-serve -join does.
+func TestRouterJoinLeave(t *testing.T) {
+	_, w1 := newWorker(t, api.Options{})
+	rt, rts := newRouter(t, cluster.RouterOptions{})
+
+	ctx := context.Background()
+	if err := cluster.Join(ctx, rts.URL, w1.URL, 3, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	name := hostOf(w1.URL)
+	if st := rt.WorkerStates()[name]; st != "healthy" {
+		t.Fatalf("joined worker state = %q; want healthy (join probes inline)", st)
+	}
+	resp, _ := get(t, rts.URL+"/artifacts/const")
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("X-Worker") != name {
+		t.Fatalf("routing after join: %s via %q", resp.Status, resp.Header.Get("X-Worker"))
+	}
+
+	if err := cluster.Leave(ctx, rts.URL, w1.URL); err != nil {
+		t.Fatal(err)
+	}
+	if st := rt.WorkerStates()[name]; st != "draining" {
+		t.Fatalf("left worker state = %q; want draining", st)
+	}
+}
+
+// TestRouterMetrics: the merged metrics expose ring stats and
+// per-worker series.
+func TestRouterMetrics(t *testing.T) {
+	_, w1 := newWorker(t, api.Options{})
+	_, rts := newRouter(t, cluster.RouterOptions{Replicas: 64}, w1.URL)
+	get(t, rts.URL+"/artifacts/const")
+	_, body := get(t, rts.URL+"/metrics")
+	for _, want := range []string{
+		"swallow_router_requests_total",
+		"swallow_router_ring_members 1",
+		"swallow_router_ring_vnodes 64",
+		"swallow_router_worker_up{worker=",
+		"swallow_router_worker_routed_total{worker=",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestWorkerDrainHealthz: the api server's drain flag flips /healthz
+// to 503 {"state":"draining"} and refuses new jobs, then recovers.
+func TestWorkerDrainHealthz(t *testing.T) {
+	srv, ts := newWorker(t, api.Options{})
+	resp, body := get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, `"ok"`) {
+		t.Fatalf("healthy: %s: %s", resp.Status, body)
+	}
+
+	srv.SetDraining(true)
+	resp, body = get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(body, `"draining"`) {
+		t.Fatalf("draining healthz: %s: %s; want 503 draining", resp.Status, body)
+	}
+	jr, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(`{"artifact": "const"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, jr.Body)
+	jr.Body.Close()
+	if jr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: %s; want 503", jr.Status)
+	}
+
+	srv.SetDraining(false)
+	resp, _ = get(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("recovered healthz: %s; want 200", resp.Status)
+	}
+}

@@ -1,0 +1,252 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+)
+
+// RemoteOptions tunes a Remote backend. Zero fields take the stated
+// defaults.
+type RemoteOptions struct {
+	// Timeout bounds one HTTP exchange end to end (default 2m —
+	// renders simulate).
+	Timeout time.Duration
+	// Retries is how many times a request is re-sent after a
+	// transport-level failure (connect refused, reset before any
+	// response); default 2. Worker-returned statuses are never
+	// retried — a 400 or 429 is an answer, not a failure.
+	Retries int
+	// Backoff is the first retry delay, doubling per attempt
+	// (default 50ms).
+	Backoff time.Duration
+}
+
+// Remote is the HTTP Backend: it drives one swallow-serve worker over
+// its public API, with per-worker connection reuse (a dedicated
+// pooled transport), request timeouts, and bounded
+// retry-with-backoff on connect failure.
+type Remote struct {
+	base    *url.URL
+	client  *http.Client
+	retries int
+	backoff time.Duration
+}
+
+// NewRemote builds a Remote for the worker at baseURL
+// (e.g. http://127.0.0.1:8081).
+func NewRemote(baseURL string, opts RemoteOptions) (*Remote, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: bad worker url %q: %v", baseURL, err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("cluster: bad worker url %q: need scheme://host:port", baseURL)
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 2 * time.Minute
+	}
+	if opts.Retries < 0 {
+		opts.Retries = 0
+	} else if opts.Retries == 0 {
+		opts.Retries = 2
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = 50 * time.Millisecond
+	}
+	transport := &http.Transport{
+		// One worker behind this transport: keep a healthy idle pool
+		// so the router's steady-state forwards reuse connections.
+		MaxIdleConns:        32,
+		MaxIdleConnsPerHost: 32,
+		IdleConnTimeout:     90 * time.Second,
+		DialContext: (&net.Dialer{
+			Timeout:   2 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+	}
+	return &Remote{
+		base:    u,
+		client:  &http.Client{Transport: transport, Timeout: opts.Timeout},
+		retries: opts.Retries,
+		backoff: opts.Backoff,
+	}, nil
+}
+
+// Name identifies the worker: its host:port.
+func (r *Remote) Name() string { return r.base.Host }
+
+// URL returns the worker base URL string.
+func (r *Remote) URL() string { return r.base.String() }
+
+// retryable reports whether err is a transport-level failure worth
+// re-sending: the worker never saw (or never answered) the request.
+// Context cancellation and deadline expiry are the caller's call to
+// stop, not a worker fault.
+func retryable(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	return true
+}
+
+// Do sends one request to the worker with bounded
+// retry-with-backoff on transport failure. body may be nil; it must
+// be fully buffered so retries can replay it. The response body is
+// the caller's to close.
+func (r *Remote) Do(ctx context.Context, method, path string, query url.Values, header http.Header, body []byte) (*http.Response, error) {
+	u := *r.base
+	u.Path = path
+	u.RawQuery = query.Encode()
+	var lastErr error
+	backoff := r.backoff
+	for attempt := 0; attempt <= r.retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, u.String(), rd)
+		if err != nil {
+			return nil, err
+		}
+		for k, vs := range header {
+			req.Header[k] = vs
+		}
+		resp, err := r.client.Do(req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !retryable(err) {
+			break
+		}
+	}
+	return nil, lastErr
+}
+
+// errorBody extracts the worker's JSON error message, falling back to
+// the raw body.
+func errorBody(resp *http.Response) string {
+	blob, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(blob, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return string(bytes.TrimSpace(blob))
+}
+
+// Render renders one artifact (GET /artifacts/{name}) or scenario
+// (POST /scenarios) on the worker and returns the body plus the
+// worker's serving metadata.
+func (r *Remote) Render(ctx context.Context, req Request) (Result, error) {
+	var resp *http.Response
+	var err error
+	if req.Scenario != nil {
+		spec, merr := json.Marshal(req.Scenario.Canonical())
+		if merr != nil {
+			return Result{}, fmt.Errorf("cluster: marshal scenario: %v", merr)
+		}
+		hdr := http.Header{"Content-Type": {"application/json"}}
+		resp, err = r.Do(ctx, http.MethodPost, "/scenarios", configQuery(req.Config), hdr, spec)
+	} else {
+		resp, err = r.Do(ctx, http.MethodGet, "/artifacts/"+url.PathEscape(req.Artifact), configQuery(req.Config), nil, nil)
+	}
+	if err != nil {
+		return Result{}, fmt.Errorf("cluster: render on %s: %w", r.Name(), err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return Result{}, fmt.Errorf("%w: %q (worker %s)", ErrUnknownArtifact, req.Artifact, r.Name())
+	}
+	if resp.StatusCode != http.StatusOK {
+		return Result{}, fmt.Errorf("cluster: render on %s: %s: %s", r.Name(), resp.Status, errorBody(resp))
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return Result{}, fmt.Errorf("cluster: render on %s: reading body: %v", r.Name(), err)
+	}
+	res := Result{
+		Body:         body,
+		ContentHash:  trimETag(resp.Header.Get("ETag")),
+		ScenarioHash: resp.Header.Get("X-Scenario-Hash"),
+		Cache:        resp.Header.Get("X-Cache"),
+		Worker:       r.Name(),
+	}
+	if w := resp.Header.Get("X-Worker"); w != "" {
+		// A router in the path reports who actually rendered.
+		res.Worker = w
+	}
+	res.RenderMicros, _ = strconv.ParseInt(resp.Header.Get("X-Render-Micros"), 10, 64)
+	res.QueueMicros, _ = strconv.ParseInt(resp.Header.Get("X-Queue-Micros"), 10, 64)
+	return res, nil
+}
+
+// trimETag strips the strong-ETag quotes.
+func trimETag(s string) string {
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		return s[1 : len(s)-1]
+	}
+	return s
+}
+
+// List fetches the worker's artifact index.
+func (r *Remote) List(ctx context.Context) ([]Info, error) {
+	resp, err := r.Do(ctx, http.MethodGet, "/artifacts", nil, nil, nil)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: list on %s: %w", r.Name(), err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: list on %s: %s: %s", r.Name(), resp.Status, errorBody(resp))
+	}
+	var out []Info
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("cluster: list on %s: decode: %v", r.Name(), err)
+	}
+	return out, nil
+}
+
+// Healthz probes the worker. A 503 carrying state "draining" is a
+// successful probe of a draining worker, not an error; transport
+// failures are errors (the worker is unreachable).
+func (r *Remote) Healthz(ctx context.Context) (Health, error) {
+	resp, err := r.Do(ctx, http.MethodGet, "/healthz", nil, nil, nil)
+	if err != nil {
+		return Health{}, fmt.Errorf("cluster: healthz on %s: %w", r.Name(), err)
+	}
+	defer resp.Body.Close()
+	var h Health
+	blob, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	_ = json.Unmarshal(blob, &h)
+	if h.State == "" {
+		// Older workers answer without a state field; infer from the
+		// status code.
+		if resp.StatusCode == http.StatusOK {
+			h.State = StateOK
+		} else {
+			h.State = StateDraining
+		}
+	}
+	if resp.StatusCode != http.StatusOK && h.State == StateOK {
+		return Health{}, fmt.Errorf("cluster: healthz on %s: %s", r.Name(), resp.Status)
+	}
+	return h, nil
+}

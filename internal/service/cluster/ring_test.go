@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// keys generates n distinct lookup keys shaped like the real affinity
+// keys (hex content hashes are just strings to the ring).
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("key-%d", i)
+	}
+	return out
+}
+
+func owners(r *Ring, ks []string) map[string]string {
+	out := make(map[string]string, len(ks))
+	for _, k := range ks {
+		m, ok := r.Owner(k, nil)
+		if !ok {
+			panic("no owner for " + k)
+		}
+		out[k] = m
+	}
+	return out
+}
+
+// TestRingRebalanceAdd pins the consistent-hashing contract: adding
+// one member to N moves only the keys that now hash to it — roughly
+// K/(N+1), and never more than twice that — and every moved key moves
+// TO the new member, so no pair of old members reshuffles between
+// themselves.
+func TestRingRebalanceAdd(t *testing.T) {
+	const n, k = 8, 10000
+	r := NewRing(128)
+	for i := 0; i < n; i++ {
+		r.Add(fmt.Sprintf("worker-%d", i))
+	}
+	ks := keys(k)
+	before := owners(r, ks)
+
+	r.Add("worker-new")
+	after := owners(r, ks)
+
+	moved := 0
+	for _, key := range ks {
+		if before[key] != after[key] {
+			moved++
+			if after[key] != "worker-new" {
+				t.Fatalf("key %q moved %s -> %s: moved keys must move to the added member",
+					key, before[key], after[key])
+			}
+		}
+	}
+	expect := k / (n + 1)
+	if moved > 2*expect {
+		t.Fatalf("adding 1 of %d members moved %d/%d keys; want <= ~K/N = %d (2x slack)",
+			n+1, moved, k, expect)
+	}
+	if moved == 0 {
+		t.Fatal("adding a member moved zero keys; ring is not spreading load")
+	}
+}
+
+// TestRingRebalanceRemove: removing a member moves exactly the keys it
+// owned, each to some surviving member, and nothing else.
+func TestRingRebalanceRemove(t *testing.T) {
+	const n, k = 8, 10000
+	r := NewRing(128)
+	for i := 0; i < n; i++ {
+		r.Add(fmt.Sprintf("worker-%d", i))
+	}
+	ks := keys(k)
+	before := owners(r, ks)
+
+	const victim = "worker-3"
+	r.Remove(victim)
+	after := owners(r, ks)
+
+	for _, key := range ks {
+		if before[key] == victim {
+			if after[key] == victim {
+				t.Fatalf("key %q still owned by removed member", key)
+			}
+			continue
+		}
+		if before[key] != after[key] {
+			t.Fatalf("key %q moved %s -> %s though its owner stayed in the ring",
+				key, before[key], after[key])
+		}
+	}
+}
+
+// TestRingAddRemoveRoundTrip: membership is content-addressed, so
+// removing and re-adding a member restores the exact ownership map —
+// the property that lets a drained worker reclaim its warm keyspace.
+func TestRingAddRemoveRoundTrip(t *testing.T) {
+	r := NewRing(64)
+	for i := 0; i < 5; i++ {
+		r.Add(fmt.Sprintf("w%d", i))
+	}
+	ks := keys(2000)
+	before := owners(r, ks)
+	r.Remove("w2")
+	r.Add("w2")
+	after := owners(r, ks)
+	for _, key := range ks {
+		if before[key] != after[key] {
+			t.Fatalf("key %q: owner %s before remove/re-add, %s after", key, before[key], after[key])
+		}
+	}
+}
+
+// TestRingSkipsUnhealthy: the lookup predicate must never yield an
+// excluded (draining/dead) member while an acceptable one exists, and
+// the fallback owner must be the ring successor — the first healthy
+// member in Sequence order.
+func TestRingSkipsUnhealthy(t *testing.T) {
+	r := NewRing(128)
+	members := []string{"a:1", "b:2", "c:3"}
+	for _, m := range members {
+		r.Add(m)
+	}
+	for _, key := range keys(500) {
+		seq := r.Sequence(key)
+		if len(seq) != len(members) {
+			t.Fatalf("Sequence(%q) = %v; want all %d members", key, seq, len(members))
+		}
+		dead := seq[0] // the owner drains
+		got, ok := r.Owner(key, func(m string) bool { return m != dead })
+		if !ok {
+			t.Fatalf("Owner(%q) found nothing with 2 healthy members", key)
+		}
+		if got == dead {
+			t.Fatalf("Owner(%q) returned excluded member %q", key, got)
+		}
+		if got != seq[1] {
+			t.Fatalf("Owner(%q) = %q; want ring successor %q", key, got, seq[1])
+		}
+	}
+	// No acceptable member at all.
+	if _, ok := r.Owner("k", func(string) bool { return false }); ok {
+		t.Fatal("Owner accepted a member the predicate rejected")
+	}
+}
+
+// TestRingDistribution: virtual-node replication keeps per-member load
+// near K/N (within 2x either way at 128 replicas).
+func TestRingDistribution(t *testing.T) {
+	const n, k = 8, 20000
+	r := NewRing(128)
+	for i := 0; i < n; i++ {
+		r.Add(fmt.Sprintf("worker-%d", i))
+	}
+	counts := make(map[string]int)
+	for _, key := range keys(k) {
+		m, _ := r.Owner(key, nil)
+		counts[m]++
+	}
+	mean := k / n
+	for m, c := range counts {
+		if c < mean/2 || c > mean*2 {
+			t.Errorf("member %s owns %d keys; want within [%d, %d] of mean %d",
+				m, c, mean/2, mean*2, mean)
+		}
+	}
+	if len(counts) != n {
+		t.Fatalf("only %d of %d members own keys", len(counts), n)
+	}
+}
+
+// TestRingIdempotentMembership: double add/remove are no-ops.
+func TestRingIdempotentMembership(t *testing.T) {
+	r := NewRing(32)
+	r.Add("a")
+	r.Add("a")
+	if r.Len() != 1 || r.VNodes() != 32 {
+		t.Fatalf("double Add: %d members, %d vnodes; want 1, 32", r.Len(), r.VNodes())
+	}
+	r.Remove("a")
+	r.Remove("a")
+	if r.Len() != 0 || r.VNodes() != 0 {
+		t.Fatalf("double Remove: %d members, %d vnodes; want 0, 0", r.Len(), r.VNodes())
+	}
+	if _, ok := r.Owner("k", nil); ok {
+		t.Fatal("empty ring returned an owner")
+	}
+	if seq := r.Sequence("k"); seq != nil {
+		t.Fatalf("empty ring Sequence = %v; want nil", seq)
+	}
+}
