@@ -21,7 +21,11 @@
 // round fires the same spec, so the first submission simulates and
 // the rest exercise the spec-hash cache path. Every response is
 // checked (status 200, non-empty body) and X-Cache headers are
-// tallied, so the report also shows the server's hit ratio.
+// tallied by tier — HIT (memory), HIT-DISK (persistent store),
+// HIT-PEER (filled from a ring peer's store), MISS (simulated) — so
+// the report shows where each answer came from, overall and per
+// worker. cache_hits counts memory hits only; the disk/peer tiers
+// report separately.
 package main
 
 import (
@@ -58,17 +62,22 @@ type target struct {
 type sample struct {
 	latency  time.Duration
 	bytes    int64
-	hit      bool
+	cache    string // X-Cache verdict: HIT | HIT-DISK | HIT-PEER | MISS
 	worker   string // X-Worker: who rendered (routed deployments)
 	queueUs  int64
 	renderUs int64
 	err      error
 }
 
-// workerStats tallies one worker's share of a routed run.
+// workerStats tallies one worker's share of a routed run, split by
+// cache tier. CacheHits counts memory hits only (the historical
+// meaning); disk and peer fills report separately.
 type workerStats struct {
 	Requests  int64 `json:"requests"`
 	CacheHits int64 `json:"cache_hits"`
+	DiskHits  int64 `json:"disk_hits,omitempty"`
+	PeerHits  int64 `json:"peer_hits,omitempty"`
+	Misses    int64 `json:"misses,omitempty"`
 }
 
 // stats is the aggregated run report.
@@ -76,6 +85,9 @@ type stats struct {
 	Requests   int64   `json:"requests"`
 	Errors     int64   `json:"errors"`
 	CacheHits  int64   `json:"cache_hits"`
+	DiskHits   int64   `json:"disk_hits"`
+	PeerHits   int64   `json:"peer_hits"`
+	Misses     int64   `json:"misses"`
 	Bytes      int64   `json:"bytes"`
 	WallS      float64 `json:"wall_s"`
 	Throughput float64 `json:"throughput_rps"`
@@ -240,7 +252,7 @@ func fetch(client *http.Client, t target) sample {
 	s := sample{
 		latency: time.Since(start),
 		bytes:   nbytes,
-		hit:     resp.Header.Get("X-Cache") == "HIT",
+		cache:   resp.Header.Get("X-Cache"),
 		worker:  resp.Header.Get("X-Worker"),
 		err:     err,
 	}
@@ -334,8 +346,15 @@ func reduce(samples []sample, mix []target, wall time.Duration) stats {
 			log.Printf("error: %v", s.err)
 			continue
 		}
-		if s.hit {
+		switch s.cache {
+		case "HIT":
 			st.CacheHits++
+		case "HIT-DISK":
+			st.DiskHits++
+		case "HIT-PEER":
+			st.PeerHits++
+		case "MISS":
+			st.Misses++
 		}
 		if s.worker != "" {
 			if st.Workers == nil {
@@ -347,8 +366,15 @@ func reduce(samples []sample, mix []target, wall time.Duration) stats {
 				st.Workers[s.worker] = ws
 			}
 			ws.Requests++
-			if s.hit {
+			switch s.cache {
+			case "HIT":
 				ws.CacheHits++
+			case "HIT-DISK":
+				ws.DiskHits++
+			case "HIT-PEER":
+				ws.PeerHits++
+			case "MISS":
+				ws.Misses++
 			}
 		}
 		st.Bytes += s.bytes
@@ -386,8 +412,10 @@ func reduce(samples []sample, mix []target, wall time.Duration) stats {
 // report prints the human-readable summary.
 func report(st stats) {
 	fmt.Printf("artifacts (%d): %v\n", len(st.Artifacts), st.Artifacts)
-	fmt.Printf("requests: %d   errors: %d   cache hits: %d   bytes: %d\n",
-		st.Requests, st.Errors, st.CacheHits, st.Bytes)
+	fmt.Printf("requests: %d   errors: %d   bytes: %d\n",
+		st.Requests, st.Errors, st.Bytes)
+	fmt.Printf("cache: memory %d   disk %d   peer %d   miss %d\n",
+		st.CacheHits, st.DiskHits, st.PeerHits, st.Misses)
 	fmt.Printf("wall: %.3fs   throughput: %.1f req/s\n", st.WallS, st.Throughput)
 	fmt.Printf("latency ms: mean %.2f   p50 %.2f   p95 %.2f   p99 %.2f   max %.2f\n",
 		st.MeanMS, st.P50MS, st.P95MS, st.P99MS, st.MaxMS)
@@ -402,7 +430,8 @@ func report(st stats) {
 		fmt.Printf("worker split:")
 		for _, name := range names {
 			ws := st.Workers[name]
-			fmt.Printf("   %s %d req / %d hit", name, ws.Requests, ws.CacheHits)
+			fmt.Printf("   %s %d req / %d mem / %d disk / %d peer / %d miss",
+				name, ws.Requests, ws.CacheHits, ws.DiskHits, ws.PeerHits, ws.Misses)
 		}
 		fmt.Println()
 	}

@@ -18,10 +18,20 @@
 // swallow-serve -join flag) and deregister via POST /leave; both keep
 // ring membership sticky so a bouncing worker reclaims its exact
 // keyspace. The router speaks the same API as a worker — /artifacts,
-// /scenarios, /jobs — plus its own merged /metrics (per-worker
-// up/latency/routed series and ring stats) and fleet /healthz. Every
-// response carries X-Worker naming who rendered, and X-Request-ID
-// propagates end to end.
+// /scenarios (inline and named), /jobs, /cache/{key} — plus its own
+// merged /metrics (per-worker up/latency/routed series and ring
+// stats) and fleet /healthz. Every response carries X-Worker naming
+// who rendered, and X-Request-ID propagates end to end.
+//
+// Warm handoff: on every routed render the router hands the serving
+// worker an X-Swallow-Peers header naming the key's other ring
+// members. A worker that misses both its memory cache and its
+// persistent store asks those peers (GET /cache/{key}) before
+// simulating, so a failover target reclaims the old owner's stored
+// result — byte-identical by the determinism contract — instead of
+// re-rendering it. Named scenario routes (PUT/GET /scenarios/{name})
+// key on the name alone, so a pin and all later renders of it land
+// on one worker.
 //
 // -quick must match the workers' -quick flag: the router derives
 // affinity keys from the same default config the workers cache under.

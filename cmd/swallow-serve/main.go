@@ -19,8 +19,22 @@
 //	swallow-serve [-addr :8080] [-quick] [-par N] [-pool=false]
 //	              [-pool-max-mb N] [-workers N] [-queue N]
 //	              [-cache-mb N] [-cache-entries N] [-cache-ttl D]
+//	              [-store-dir DIR] [-store-mb N]
 //	              [-access-log=false] [-pprof]
 //	              [-join URL] [-advertise URL] [-drain-notice D]
+//
+// Persistent store: -store-dir names a directory for the disk-backed
+// artifact store, a second cache tier under the in-memory LRU. Every
+// rendered body is written through to disk (atomically, checksummed),
+// so a restart with the same -store-dir serves its whole keyspace as
+// X-Cache: HIT-DISK without re-simulating. Entries are keyed by the
+// same canonical content hash as the memory cache and invalidated
+// only by registry-version changes — determinism makes them valid
+// forever, so -cache-ttl does not apply to the disk tier. -store-mb
+// bounds the directory size (LRU eviction). The store also persists
+// named scenarios (PUT /scenarios/{name}) and serves peer cache fills
+// (GET /cache/{key}) to ring neighbors in cluster mode. Without
+// -store-dir everything behaves exactly as before (memory-only).
 //
 // Observability: every request gets an X-Request-ID (inbound value
 // propagated, otherwise generated) and -access-log (default on) emits
@@ -66,6 +80,7 @@ import (
 	"swallow/internal/harness/sweep"
 	"swallow/internal/service/api"
 	"swallow/internal/service/cluster"
+	"swallow/internal/service/store"
 )
 
 // advertiseURL derives the URL a router should reach this worker at:
@@ -92,7 +107,9 @@ func main() {
 	queueCap := flag.Int("queue", 64, "job queue capacity (backpressure beyond it)")
 	cacheMB := flag.Int64("cache-mb", 64, "result cache bound, MiB")
 	cacheEntries := flag.Int("cache-entries", 256, "result cache bound, entries")
-	cacheTTL := flag.Duration("cache-ttl", 0, "result cache entry lifetime (0 = never expire)")
+	cacheTTL := flag.Duration("cache-ttl", 0, "result cache entry lifetime (0 = never expire); memory tier only — the disk store never expires by time")
+	storeDir := flag.String("store-dir", "", "persistent artifact store directory (empty: memory-only)")
+	storeMB := flag.Int64("store-mb", 1024, "persistent store size bound, MiB (LRU eviction)")
 	pool := flag.Bool("pool", true, "reuse machines across sweep points (output is identical either way)")
 	warm := flag.Bool("warm-start", true, "restore pooled machines and boot prefixes from snapshots (output is identical either way)")
 	turbo := flag.Bool("turbo", true, "predecoded-instruction-cache + batched-issue fast path (output is identical either way)")
@@ -114,12 +131,28 @@ func main() {
 	experiments.SetTurbo(*turbo)
 	core.SharedPool().SetLimit(0, *poolMaxMB<<20)
 
+	st, err := store.Open(store.Options{
+		Dir:      *storeDir,
+		Version:  api.RegistryVersion(),
+		MaxBytes: *storeMB << 20,
+		Logf:     log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("store %s: %v", *storeDir, err)
+	}
+	if st.Enabled() {
+		ss := st.Stats()
+		log.Printf("store: %s warm with %d entries / %d bytes / %d names (version %s)",
+			*storeDir, ss.Entries, ss.Bytes, ss.Names, st.Version())
+	}
+
 	opts := api.Options{
 		CacheBytes:    *cacheMB << 20,
 		CacheEntries:  *cacheEntries,
 		CacheTTL:      *cacheTTL,
 		Workers:       *workers,
 		QueueCapacity: *queueCap,
+		Store:         st,
 	}
 	if *quick {
 		opts.DefaultConfig = harness.QuickConfig()

@@ -21,6 +21,8 @@
 //	internal/harness      artifact registry + parallel sweep engine
 //	internal/scenario     declarative scenario specs compiled to artifacts
 //	internal/service      serving layer: result cache, job queue, HTTP API
+//	internal/service/store    disk-backed artifact store: warm restarts,
+//	                      peer cache fills, named scenario pins
 //	internal/service/cluster  pluggable execution Backend, consistent hash
 //	                      ring, cache-affinity router over worker fleets
 //
@@ -59,6 +61,20 @@
 // cmd/swallow-load is the matching open/closed-loop load generator
 // reporting throughput and p50/p95/p99 latency, able to mix scenario
 // POSTs into the load and split results per responding worker.
+//
+// service/store adds a persistent tier beneath the memory cache:
+// swallow-serve -store-dir keeps every rendered result in a
+// content-addressed, CRC-guarded, size-bounded on-disk store (atomic
+// write-through, LRU eviction, wholesale invalidation when the
+// registry version changes), so restarts answer their old keyspace as
+// X-Cache HIT-DISK without re-simulating, and TTL expiry refills from
+// disk. The store also persists named scenarios — PUT
+// /scenarios/{name} pins a human name to a spec hash with version
+// history, and GET /scenarios/{name} re-renders it by name. In a
+// fleet, the router stamps renders with X-Swallow-Peers ring
+// successors and a worker that misses locally fills from a peer's
+// GET /cache/{key} (X-Cache HIT-PEER), so drains hand off a warm
+// keyspace as cheap HTTP copies rather than re-simulations.
 //
 // service/cluster scales the service horizontally: cmd/swallow-router
 // fronts N swallow-serve workers and routes each request by the

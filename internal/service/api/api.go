@@ -8,10 +8,15 @@
 //	GET  /artifacts         registered artifact index (name, description)
 //	GET  /artifacts/{name}  synchronous render, cache-aware, ETag'd
 //	POST /scenarios         compile + run a submitted scenario spec
+//	GET  /scenarios         list pinned scenario names
+//	PUT  /scenarios/{name}  pin name -> spec hash (persisted in the store)
+//	GET  /scenarios/{name}  re-render a pinned scenario by name
+//	GET  /scenarios/{name}/versions  pin history with change flags
+//	GET  /cache/{key}       read one cached/stored result (peer cache fill)
 //	POST /jobs              async render submission (429 when saturated)
 //	GET  /jobs/{id}         job status / result polling
 //	GET  /healthz           liveness probe
-//	GET  /metrics           text metrics (requests, cache, queue, latency)
+//	GET  /metrics           text metrics (requests, cache, store, queue, latency)
 //
 // Renders are pure functions of (artifact, harness.Config), so a cache
 // hit is byte-identical to a cold run and the ETag doubles as a
@@ -19,6 +24,12 @@
 // burst of identical requests costs one simulation); POST /jobs puts
 // the work on the worker pool instead and reports backpressure as
 // 429 + Retry-After when the queue is full.
+//
+// The result path is tiered (see store_tier.go): memory LRU, then the
+// disk store, then a peer cache ask, then the backend render —
+// X-Cache reports HIT, HIT-DISK, HIT-PEER or MISS accordingly. With
+// no Store configured the disk and peer tiers are inert and the
+// original two-state HIT/MISS behavior is unchanged.
 //
 // Renders execute through a pluggable cluster.Backend: the default is
 // the in-process Local backend over the harness registry (the
@@ -57,6 +68,7 @@ import (
 	"swallow/internal/service/cache"
 	"swallow/internal/service/cluster"
 	"swallow/internal/service/queue"
+	"swallow/internal/service/store"
 )
 
 // maxSpecBytes bounds a submitted scenario body.
@@ -92,6 +104,12 @@ type Options struct {
 	// implementation) makes this server front remote execution with
 	// the same caching, singleflight and HTTP surface.
 	Backend cluster.Backend
+	// Store is the disk tier under the memory cache. Nil means a
+	// memory-only store under RegistryVersion(): no disk persistence,
+	// but named scenarios still work for the process lifetime.
+	Store *store.Store
+	// PeerTimeout bounds one peer cache-fill HTTP ask (<= 0: 3s).
+	PeerTimeout time.Duration
 }
 
 // Server wires the execution backend, cache and queue behind one
@@ -100,6 +118,9 @@ type Server struct {
 	def, quick harness.Config
 	backend    cluster.Backend
 	cache      *cache.Cache
+	store      *store.Store
+	version    string // registry version the store validates against
+	peers      *http.Client
 	queue      *queue.Queue
 	met        *metrics
 	mux        *http.ServeMux
@@ -137,11 +158,20 @@ func New(opts Options) *Server {
 	if opts.Backend == nil {
 		opts.Backend = cluster.NewLocal()
 	}
+	if opts.Store == nil {
+		opts.Store = store.Memory(RegistryVersion())
+	}
+	if opts.PeerTimeout <= 0 {
+		opts.PeerTimeout = 3 * time.Second
+	}
 	s := &Server{
 		def:       opts.DefaultConfig,
 		quick:     opts.QuickConfig,
 		backend:   opts.Backend,
 		cache:     cache.New(opts.CacheBytes, opts.CacheEntries, cache.WithTTL(opts.CacheTTL)),
+		store:     opts.Store,
+		version:   opts.Store.Version(),
+		peers:     &http.Client{Timeout: opts.PeerTimeout},
 		queue:     queue.New(opts.Workers, opts.QueueCapacity, opts.JobRetention),
 		met:       newMetrics(),
 		mux:       http.NewServeMux(),
@@ -150,6 +180,11 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /artifacts", s.handleArtifacts)
 	s.mux.HandleFunc("GET /artifacts/{name}", s.handleArtifact)
 	s.mux.HandleFunc("POST /scenarios", s.handleScenario)
+	s.mux.HandleFunc("GET /scenarios", s.handleScenarioList)
+	s.mux.HandleFunc("PUT /scenarios/{name}", s.handleScenarioPin)
+	s.mux.HandleFunc("GET /scenarios/{name}", s.handleScenarioNamed)
+	s.mux.HandleFunc("GET /scenarios/{name}/versions", s.handleScenarioVersions)
+	s.mux.HandleFunc("GET /cache/{key}", s.handleCacheGet)
 	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -254,26 +289,20 @@ func (s *Server) handleArtifacts(w http.ResponseWriter, r *http.Request) {
 // before keying, so requests differing only in irrelevant parameters
 // (e.g. ?iters= on an iteration-free table) share one cache entry
 // instead of re-running a byte-identical simulation.
-// The returned duration is the cold render time, zero on a cache hit;
-// handlers surface it as X-Render-Micros so clients (and the access
-// log) can split server time into queue wait vs simulation.
-func (s *Server) render(a *harness.Artifact, cfg harness.Config) (cache.Entry, bool, time.Duration, error) {
+// The returned string is the X-Cache state (HIT, HIT-DISK, HIT-PEER
+// or MISS — see fillTiered); the duration is the cold render time,
+// zero unless the backend actually simulated. Handlers surface it as
+// X-Render-Micros so clients (and the access log) can split server
+// time into queue wait vs simulation.
+func (s *Server) render(a *harness.Artifact, cfg harness.Config, peers []string) (cache.Entry, string, time.Duration, error) {
 	cfg = a.Project(cfg)
 	key := cache.Key(a.Name, cfg)
-	var renderDur time.Duration
-	entry, hit, err := s.cache.GetOrFill(key, func() ([]byte, error) {
+	return s.fillTiered(key, a.Name, a.Name, nil, peers, func() (cluster.Result, error) {
 		// The fill is shared across requests by singleflight, so it
 		// runs under its own context, not any one caller's.
-		res, err := s.backend.Render(context.Background(),
+		return s.backend.Render(context.Background(),
 			cluster.Request{Artifact: a.Name, Config: cfg})
-		if err != nil {
-			return nil, err
-		}
-		renderDur = time.Duration(res.RenderMicros) * time.Microsecond
-		s.met.observe(a.Name, renderDur)
-		return res.Body, nil
 	})
-	return entry, hit, renderDur, err
 }
 
 // handleArtifact serves one artifact synchronously: cache-aware, with
@@ -298,13 +327,13 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	start := time.Now()
-	entry, hit, renderDur, err := s.render(a, cfg)
+	entry, state, renderDur, err := s.render(a, cfg, peerList(r))
 	if err != nil {
 		writeError(w, runStatus(err), "%s: %v", name, err)
 		return
 	}
 	setTimingHeaders(w, start, renderDur)
-	writeCachedEntry(w, r, entry, hit)
+	writeCachedEntry(w, r, entry, state)
 }
 
 // setTimingHeaders splits server-side time for the client: the cold
@@ -321,12 +350,13 @@ func setTimingHeaders(w http.ResponseWriter, start time.Time, renderDur time.Dur
 }
 
 // writeCachedEntry is the shared epilogue of every cache-backed text
-// render: the content hash as a strong ETag, X-Cache HIT|MISS,
-// If-None-Match conditional handling, then the body.
-func writeCachedEntry(w http.ResponseWriter, r *http.Request, entry cache.Entry, hit bool) {
+// render: the content hash as a strong ETag, the tiered X-Cache state
+// (HIT | HIT-DISK | HIT-PEER | MISS), If-None-Match conditional
+// handling, then the body.
+func writeCachedEntry(w http.ResponseWriter, r *http.Request, entry cache.Entry, state string) {
 	etag := `"` + entry.ContentHash + `"`
 	w.Header().Set("ETag", etag)
-	w.Header().Set("X-Cache", map[bool]string{true: "HIT", false: "MISS"}[hit])
+	w.Header().Set("X-Cache", state)
 	if match := r.Header.Get("If-None-Match"); match == "*" || (match != "" && strings.Contains(match, etag)) {
 		w.WriteHeader(http.StatusNotModified)
 		return
@@ -342,22 +372,17 @@ func writeCachedEntry(w http.ResponseWriter, r *http.Request, entry cache.Entry,
 // identical submissions share one simulation, exactly like named
 // artifacts. Render latency aggregates under the fixed "scenario"
 // label to keep /metrics cardinality bounded however many distinct
-// specs clients invent.
-func (s *Server) renderScenario(c *scenario.Compiled, cfg harness.Config) (cache.Entry, bool, time.Duration, error) {
+// specs clients invent; the disk store files the entry with the
+// canonical spec as provenance, so a stored scenario result remains
+// self-describing.
+func (s *Server) renderScenario(c *scenario.Compiled, cfg harness.Config, peers []string) (cache.Entry, string, time.Duration, error) {
 	cfg = c.Artifact.Project(cfg)
 	key := cache.Key("scenario:"+c.Hash, cfg)
-	var renderDur time.Duration
-	entry, hit, err := s.cache.GetOrFill(key, func() ([]byte, error) {
-		res, err := s.backend.Render(context.Background(),
+	canonical, _ := json.Marshal(c.Spec.Canonical())
+	return s.fillTiered(key, "scenario", "scenario:"+c.Hash, canonical, peers, func() (cluster.Result, error) {
+		return s.backend.Render(context.Background(),
 			cluster.Request{Scenario: &c.Spec, Config: cfg})
-		if err != nil {
-			return nil, err
-		}
-		renderDur = time.Duration(res.RenderMicros) * time.Microsecond
-		s.met.observe("scenario", renderDur)
-		return res.Body, nil
 	})
-	return entry, hit, renderDur, err
 }
 
 // handleScenario compiles and runs a submitted spec synchronously.
@@ -393,14 +418,14 @@ func (s *Server) handleScenario(w http.ResponseWriter, r *http.Request) {
 	}
 	s.met.scenario()
 	start := time.Now()
-	entry, hit, renderDur, err := s.renderScenario(c, cfg)
+	entry, state, renderDur, err := s.renderScenario(c, cfg, peerList(r))
 	if err != nil {
 		writeError(w, runStatus(err), "scenario %s: %v", c.Spec.Name, err)
 		return
 	}
 	setTimingHeaders(w, start, renderDur)
 	w.Header().Set("X-Scenario-Hash", c.Hash)
-	writeCachedEntry(w, r, entry, hit)
+	writeCachedEntry(w, r, entry, state)
 }
 
 // jobRequest is the POST /jobs body: either a registered artifact
@@ -513,10 +538,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	run := func() (any, error) {
 		var entry cache.Entry
 		var err error
+		// Async jobs carry no peer hints (the router header belongs to
+		// the submitting request); the disk tier still applies.
 		if compiled != nil {
-			entry, _, _, err = s.renderScenario(compiled, cfg)
+			entry, _, _, err = s.renderScenario(compiled, cfg, nil)
 		} else {
-			entry, _, _, err = s.render(a, cfg)
+			entry, _, _, err = s.render(a, cfg, nil)
 		}
 		if err != nil {
 			return nil, err
@@ -600,6 +627,6 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 // handleMetrics serves the text metrics snapshot.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	s.met.write(w, s.cache.Stats(), s.queue.Depth(), s.queue.Capacity(),
+	s.met.write(w, s.cache.Stats(), s.store.Stats(), s.queue.Depth(), s.queue.Capacity(),
 		core.SharedPool().Stats())
 }

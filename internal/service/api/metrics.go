@@ -10,6 +10,7 @@ import (
 
 	"swallow/internal/core"
 	"swallow/internal/service/cache"
+	"swallow/internal/service/store"
 	"swallow/internal/xs1"
 )
 
@@ -48,11 +49,14 @@ func (h *latHist) observe(sec float64) {
 // latency counters live here. Every series this struct owns is
 // monotonic within a process lifetime (see latHist).
 type metrics struct {
-	mu        sync.Mutex
-	requests  int64
-	rejected  int64
-	scenarios int64
-	renders   map[string]*latHist
+	mu           sync.Mutex
+	requests     int64
+	rejected     int64
+	scenarios    int64
+	scenarioPins int64
+	peerFills    int64
+	peerMisses   int64
+	renders      map[string]*latHist
 }
 
 func newMetrics() *metrics {
@@ -78,6 +82,28 @@ func (m *metrics) reject() {
 func (m *metrics) scenario() {
 	m.mu.Lock()
 	m.scenarios++
+	m.mu.Unlock()
+}
+
+// scenarioPin counts one accepted PUT /scenarios/{name}.
+func (m *metrics) scenarioPin() {
+	m.mu.Lock()
+	m.scenarioPins++
+	m.mu.Unlock()
+}
+
+// peerFill counts one miss satisfied from a ring peer's cache;
+// peerFillMiss counts one miss where every listed peer came up empty
+// (the render proceeded locally).
+func (m *metrics) peerFill() {
+	m.mu.Lock()
+	m.peerFills++
+	m.mu.Unlock()
+}
+
+func (m *metrics) peerFillMiss() {
+	m.mu.Lock()
+	m.peerMisses++
 	m.mu.Unlock()
 }
 
@@ -117,7 +143,7 @@ var buildVersion = func() string {
 // of the process; they reset only when the process restarts, which
 // scrapers detect as a counter reset (swallow_uptime_seconds dropping
 // corroborates it).
-func (m *metrics) write(w io.Writer, cs cache.Stats, queueDepth, queueCap int, ps core.PoolStats) {
+func (m *metrics) write(w io.Writer, cs cache.Stats, ss store.Stats, queueDepth, queueCap int, ps core.PoolStats) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	fmt.Fprintf(w, "# HELP swallow_build_info Build metadata; constant 1.\n")
@@ -137,6 +163,19 @@ func (m *metrics) write(w io.Writer, cs cache.Stats, queueDepth, queueCap int, p
 	fmt.Fprintf(w, "swallow_cache_hit_ratio %.4f\n", cs.HitRatio())
 	fmt.Fprintf(w, "swallow_cache_entries %d\n", cs.Entries)
 	fmt.Fprintf(w, "swallow_cache_bytes %d\n", cs.Bytes)
+	fmt.Fprintf(w, "swallow_store_hits_total %d\n", ss.Hits)
+	fmt.Fprintf(w, "swallow_store_misses_total %d\n", ss.Misses)
+	fmt.Fprintf(w, "swallow_store_writes_total %d\n", ss.Writes)
+	fmt.Fprintf(w, "swallow_store_write_errors_total %d\n", ss.WriteErrors)
+	fmt.Fprintf(w, "swallow_store_evictions_total %d\n", ss.Evictions)
+	fmt.Fprintf(w, "swallow_store_corrupt_total %d\n", ss.Corrupt)
+	fmt.Fprintf(w, "swallow_store_bytes_total %d\n", ss.BytesWritten)
+	fmt.Fprintf(w, "swallow_store_bytes %d\n", ss.Bytes)
+	fmt.Fprintf(w, "swallow_store_entries %d\n", ss.Entries)
+	fmt.Fprintf(w, "swallow_store_names %d\n", ss.Names)
+	fmt.Fprintf(w, "swallow_scenario_pins_total %d\n", m.scenarioPins)
+	fmt.Fprintf(w, "swallow_peer_fills_total %d\n", m.peerFills)
+	fmt.Fprintf(w, "swallow_peer_fill_misses_total %d\n", m.peerMisses)
 	fmt.Fprintf(w, "swallow_queue_depth %d\n", queueDepth)
 	fmt.Fprintf(w, "swallow_queue_capacity %d\n", queueCap)
 	fmt.Fprintf(w, "swallow_pool_builds_total %d\n", ps.Builds)
@@ -144,10 +183,10 @@ func (m *metrics) write(w io.Writer, cs cache.Stats, queueDepth, queueCap int, p
 	fmt.Fprintf(w, "swallow_pool_evictions_total %d\n", ps.Evictions)
 	fmt.Fprintf(w, "swallow_pool_idle_machines %d\n", ps.Idle)
 	fmt.Fprintf(w, "swallow_pool_idle_bytes %d\n", ps.IdleBytes)
-	ss := core.ReadSnapshotStats()
-	fmt.Fprintf(w, "swallow_snapshot_taken_total %d\n", ss.Taken)
-	fmt.Fprintf(w, "swallow_snapshot_restores_total %d\n", ss.Restores)
-	fmt.Fprintf(w, "swallow_snapshot_dirty_bytes_total %d\n", ss.DirtyBytes)
+	snap := core.ReadSnapshotStats()
+	fmt.Fprintf(w, "swallow_snapshot_taken_total %d\n", snap.Taken)
+	fmt.Fprintf(w, "swallow_snapshot_restores_total %d\n", snap.Restores)
+	fmt.Fprintf(w, "swallow_snapshot_dirty_bytes_total %d\n", snap.DirtyBytes)
 	ts := xs1.ReadTurboStats()
 	fmt.Fprintf(w, "swallow_turbo_batches_total %d\n", ts.Batches)
 	fmt.Fprintf(w, "swallow_turbo_batched_instrs_total %d\n", ts.BatchedInstrs)

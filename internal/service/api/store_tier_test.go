@@ -1,0 +1,399 @@
+// Store-tier tests: the disk tier under the memory cache (HIT-DISK
+// restarts), its TTL independence, the peer cache-fill path
+// (HIT-PEER), the raw /cache/{key} endpoint, and named scenarios.
+// Like the rest of the api tests they run against the synthetic
+// registry in api_test.go, so tier transitions are observable through
+// the echoRuns counter: any unexpected re-simulation is a hard fail.
+package api_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"swallow/internal/harness"
+	"swallow/internal/service/api"
+	"swallow/internal/service/cache"
+	"swallow/internal/service/cluster"
+	"swallow/internal/service/store"
+)
+
+// openStore opens a disk store in dir bound to the live registry
+// version, exactly as swallow-serve -store-dir does.
+func openStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(store.Options{Dir: dir, Version: api.RegistryVersion()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// defaultKey mirrors the handler's own config resolution for a bare
+// GET /artifacts/{name} (no query overrides), so tests can address
+// the same cache key the server files the render under.
+func defaultKey(t *testing.T, name string) string {
+	t.Helper()
+	def := harness.Config{Iters: harness.DefaultConfig().Iters}
+	quick := harness.Config{Iters: harness.QuickConfig().Iters}
+	cfg, err := cluster.ConfigFromQuery(def, quick, url.Values{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := harness.Lookup(name)
+	if a == nil {
+		t.Fatalf("artifact %q not registered", name)
+	}
+	return cache.Key(name, a.Project(cfg))
+}
+
+// wantCache asserts one response's X-Cache verdict.
+func wantCache(t *testing.T, resp *http.Response, want string) {
+	t.Helper()
+	if got := resp.Header.Get("X-Cache"); got != want {
+		t.Fatalf("X-Cache = %q, want %q", got, want)
+	}
+}
+
+// TestRestartServesFromDiskStore is the tentpole contract: a server
+// restarted over the same store directory re-serves its keyspace
+// byte-identically as HIT-DISK, with zero re-simulations, and the
+// disk hit warms the new memory tier.
+func TestRestartServesFromDiskStore(t *testing.T) {
+	dir := t.TempDir()
+	_, ts1 := newServer(t, api.Options{Store: openStore(t, dir)})
+	resp, body1 := get(t, ts1.URL+"/artifacts/echo")
+	wantCache(t, resp, "MISS")
+	etag := resp.Header.Get("ETag")
+	runs := echoRuns.Load()
+
+	// "Restart": a fresh server over the same directory starts with a
+	// cold memory cache but a warm disk store.
+	_, ts2 := newServer(t, api.Options{Store: openStore(t, dir)})
+	resp, body2 := get(t, ts2.URL+"/artifacts/echo")
+	wantCache(t, resp, "HIT-DISK")
+	if body2 != body1 {
+		t.Fatalf("disk hit body differs from cold render:\n%q\nvs\n%q", body2, body1)
+	}
+	if got := resp.Header.Get("ETag"); got != etag {
+		t.Fatalf("disk hit ETag = %q, want %q", got, etag)
+	}
+	if echoRuns.Load() != runs {
+		t.Fatal("disk hit re-simulated")
+	}
+
+	// The disk hit populated the memory tier: the next read is HIT.
+	resp, _ = get(t, ts2.URL+"/artifacts/echo")
+	wantCache(t, resp, "HIT")
+	if echoRuns.Load() != runs {
+		t.Fatal("memory hit re-simulated")
+	}
+}
+
+// TestTTLExpiryRefillsFromDisk pins the tier interplay: -cache-ttl
+// governs only the memory tier; an expired entry refills from disk
+// (determinism keeps stored results valid forever) without
+// re-simulating.
+func TestTTLExpiryRefillsFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newServer(t, api.Options{
+		Store:    openStore(t, dir),
+		CacheTTL: 20 * time.Millisecond,
+	})
+	resp, body1 := get(t, ts.URL+"/artifacts/echo")
+	wantCache(t, resp, "MISS")
+	runs := echoRuns.Load()
+
+	time.Sleep(60 * time.Millisecond) // let the memory entry age out
+
+	resp, body2 := get(t, ts.URL+"/artifacts/echo")
+	wantCache(t, resp, "HIT-DISK")
+	if body2 != body1 {
+		t.Fatal("TTL refill body differs")
+	}
+	if echoRuns.Load() != runs {
+		t.Fatal("TTL expiry re-simulated despite a valid stored entry")
+	}
+}
+
+// TestCacheEndpoint exercises the raw peer-fill surface: key
+// validation, the version stamp on every answer, and reads from the
+// memory and disk tiers.
+func TestCacheEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newServer(t, api.Options{Store: openStore(t, dir)})
+
+	resp, _ := get(t, ts.URL+"/cache/not-a-key")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed key: status %d, want 400", resp.StatusCode)
+	}
+	resp, _ = get(t, ts.URL+"/cache/"+strings.Repeat("a", 64))
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown key: status %d, want 404", resp.StatusCode)
+	}
+	if resp.Header.Get("X-Store-Version") == "" {
+		t.Fatal("miss answer lacks X-Store-Version (peers need it to reject mixed versions)")
+	}
+
+	_, want := get(t, ts.URL+"/artifacts/echo")
+	resp, got := get(t, ts.URL+"/cache/"+defaultKey(t, "echo"))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm key: status %d, want 200", resp.StatusCode)
+	}
+	wantCache(t, resp, "HIT")
+	if got != want {
+		t.Fatal("cache read body differs from rendered body")
+	}
+	if v := resp.Header.Get("X-Store-Version"); v != api.RegistryVersion() {
+		t.Fatalf("X-Store-Version = %q, want %q", v, api.RegistryVersion())
+	}
+}
+
+// TestPeerFill is the warm-handoff contract: a server missing every
+// local tier but holding a peer hint adopts the peer's stored result
+// — byte-identical, zero simulations — and files it in its own
+// tiers, disk included.
+func TestPeerFill(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	_, tsA := newServer(t, api.Options{Store: openStore(t, dirA)})
+	_, tsB := newServer(t, api.Options{Store: openStore(t, dirB)})
+
+	_, want := get(t, tsA.URL+"/artifacts/echo") // warm A
+	runs := echoRuns.Load()
+
+	req, err := http.NewRequest(http.MethodGet, tsB.URL+"/artifacts/echo", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Swallow-Peers", tsA.URL)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	wantCache(t, resp, "HIT-PEER")
+	if body != want {
+		t.Fatal("peer fill body differs from the peer's render")
+	}
+	if echoRuns.Load() != runs {
+		t.Fatal("peer fill re-simulated")
+	}
+
+	// The fill was adopted into B's memory tier...
+	resp, _ = get(t, tsB.URL+"/artifacts/echo")
+	wantCache(t, resp, "HIT")
+	// ...and written through to B's own disk store: a "restarted" B
+	// serves it without peers or simulation.
+	_, tsB2 := newServer(t, api.Options{Store: openStore(t, dirB)})
+	resp, body2 := get(t, tsB2.URL+"/artifacts/echo")
+	wantCache(t, resp, "HIT-DISK")
+	if body2 != want {
+		t.Fatal("adopted entry body differs after restart")
+	}
+	if echoRuns.Load() != runs {
+		t.Fatal("adopted entry re-simulated after restart")
+	}
+}
+
+// TestPeerFillBadPeerFallsThrough: unreachable or cold peers are a
+// soft miss — the render proceeds locally and still answers MISS.
+func TestPeerFillBadPeerFallsThrough(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newServer(t, api.Options{
+		Store:       openStore(t, dir),
+		PeerTimeout: 200 * time.Millisecond,
+	})
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/artifacts/echo", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A dead port and a syntactically invalid entry: both must be
+	// skipped without failing the request.
+	req.Header.Set("X-Swallow-Peers", "http://127.0.0.1:1,not-a-url")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	wantCache(t, resp, "MISS")
+	if body == "" {
+		t.Fatal("empty body")
+	}
+}
+
+// readAll drains and closes one response body.
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	b, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestNamedScenarios drives the pin surface end to end: PUT pins a
+// name (201 then 200 on idempotent re-pin), GET renders by name with
+// identity headers, the list and versions endpoints report the pin,
+// and everything survives a restart over the same store directory.
+func TestNamedScenarios(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newServer(t, api.Options{Store: openStore(t, dir)})
+
+	put := func(srvURL, name, spec string) (*http.Response, string) {
+		req, err := http.NewRequest(http.MethodPut, srvURL+"/scenarios/"+name, strings.NewReader(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, readAll(t, resp)
+	}
+
+	resp, body := put(ts.URL, "probe", specJSON)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("first pin: status %d: %s", resp.StatusCode, body)
+	}
+	var pin struct {
+		Name    string `json:"name"`
+		Hash    string `json:"hash"`
+		Version int    `json:"version"`
+		Changed bool   `json:"changed"`
+	}
+	if err := json.Unmarshal([]byte(body), &pin); err != nil {
+		t.Fatalf("pin response: %v: %s", err, body)
+	}
+	if pin.Name != "probe" || pin.Version != 1 || !pin.Changed || len(pin.Hash) == 0 {
+		t.Fatalf("pin view = %+v", pin)
+	}
+
+	// Re-pinning an equivalent respelling is idempotent: same hash, no
+	// new version, 200 not 201.
+	resp, body = put(ts.URL, "probe", specJSONRespelled)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-pin: status %d: %s", resp.StatusCode, body)
+	}
+	var repin struct {
+		Hash    string `json:"hash"`
+		Version int    `json:"version"`
+		Changed bool   `json:"changed"`
+	}
+	json.Unmarshal([]byte(body), &repin)
+	if repin.Hash != pin.Hash || repin.Version != 1 || repin.Changed {
+		t.Fatalf("re-pin view = %+v, want same hash, version 1, changed=false", repin)
+	}
+
+	// Invalid names and invalid specs are 400s, not pins.
+	if resp, _ := put(ts.URL, "..%2F..%2Fetc", specJSON); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("traversal name: status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := put(ts.URL, "broken", "{"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad spec: status %d, want 400", resp.StatusCode)
+	}
+
+	// Render by name; the result must match the anonymous submission
+	// byte for byte (same spec hash, same cache key).
+	respAnon, wantBody := postScenario(t, ts.URL, specJSON, nil)
+	if respAnon.StatusCode != http.StatusOK {
+		t.Fatalf("anonymous submit: status %d", respAnon.StatusCode)
+	}
+	resp, got := get(t, ts.URL+"/scenarios/probe")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("named render: status %d: %s", resp.StatusCode, got)
+	}
+	if got != wantBody {
+		t.Fatal("named render differs from anonymous submission")
+	}
+	if h := resp.Header.Get("X-Scenario-Hash"); h != pin.Hash {
+		t.Fatalf("X-Scenario-Hash = %q, want %q", h, pin.Hash)
+	}
+	if n := resp.Header.Get("X-Scenario-Name"); n != "probe" {
+		t.Fatalf("X-Scenario-Name = %q", n)
+	}
+	if resp.Header.Get("X-Scenario-Version") != "1" {
+		t.Fatalf("X-Scenario-Version = %q", resp.Header.Get("X-Scenario-Version"))
+	}
+
+	// Unknown names are 404s.
+	if resp, _ := get(t, ts.URL+"/scenarios/absent"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown name: status %d, want 404", resp.StatusCode)
+	}
+
+	// The list and versions views agree with the pin.
+	resp, body = get(t, ts.URL+"/scenarios")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list: status %d", resp.StatusCode)
+	}
+	var list []struct {
+		Name string `json:"name"`
+		Hash string `json:"hash"`
+	}
+	if err := json.Unmarshal([]byte(body), &list); err != nil {
+		t.Fatalf("list: %v: %s", err, body)
+	}
+	if len(list) != 1 || list[0].Name != "probe" || list[0].Hash != pin.Hash {
+		t.Fatalf("list = %+v", list)
+	}
+	resp, body = get(t, ts.URL+"/scenarios/probe/versions")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("versions: status %d", resp.StatusCode)
+	}
+	var vv struct {
+		Versions []struct {
+			Version int    `json:"version"`
+			Hash    string `json:"hash"`
+			Changed bool   `json:"changed"`
+		} `json:"versions"`
+	}
+	if err := json.Unmarshal([]byte(body), &vv); err != nil {
+		t.Fatalf("versions: %v: %s", err, body)
+	}
+	if len(vv.Versions) != 1 || vv.Versions[0].Hash != pin.Hash || !vv.Versions[0].Changed {
+		t.Fatalf("versions = %+v", vv.Versions)
+	}
+
+	// Pins persist: a restarted server still knows the name and
+	// serves its render from disk.
+	_, ts2 := newServer(t, api.Options{Store: openStore(t, dir)})
+	resp, got = get(t, ts2.URL+"/scenarios/probe")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("named render after restart: status %d: %s", resp.StatusCode, got)
+	}
+	wantCache(t, resp, "HIT-DISK")
+	if got != wantBody {
+		t.Fatal("named render after restart differs")
+	}
+}
+
+// TestMemoryStoreNamedScenarios: with no disk store configured, the
+// pin surface still works for the process lifetime (and the cache
+// tiers stay two-state HIT/MISS — the existing api tests pin that).
+func TestMemoryStoreNamedScenarios(t *testing.T) {
+	_, ts := newServer(t, api.Options{})
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/scenarios/ephemeral", strings.NewReader(specJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, resp)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("pin on memory store: status %d, want 201", resp.StatusCode)
+	}
+	resp, body := get(t, ts.URL+"/scenarios/ephemeral")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("named render: status %d: %s", resp.StatusCode, body)
+	}
+	wantCache(t, resp, "MISS")
+}

@@ -100,6 +100,13 @@ type Option func(*Cache)
 // Artifacts are pure, so the default — d = 0, never expire — stays
 // correct; a TTL bounds staleness if configs ever gain inputs the
 // cache key cannot see.
+//
+// TTL governs only this memory tier. The disk tier underneath
+// (internal/service/store) deliberately ignores it: determinism makes
+// a stored body valid for as long as the registry version holds, so a
+// TTL-expired memory entry refills from disk (X-Cache: HIT-DISK)
+// without re-simulating, and the store invalidates by registry
+// version, never by age.
 func WithTTL(d time.Duration) Option {
 	return func(c *Cache) { c.ttl = d }
 }
@@ -153,6 +160,22 @@ func (c *Cache) Get(key string) (Entry, bool) {
 	}
 	c.ll.MoveToFront(el)
 	c.stats.Hits++
+	return el.Value.(*entry).val, true
+}
+
+// Peek returns the cached entry for key without touching recency
+// order or the hit/miss counters. It still honors TTL (an expired
+// entry is not returned, but is left for the accounted paths to
+// drop). It exists for the peer cache-fill endpoint: a sibling worker
+// probing this cache should not distort the eviction order or the
+// /metrics hit ratio the load tests assert on.
+func (c *Cache) Peek(key string) (Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok || c.expired(el.Value.(*entry)) {
+		return Entry{}, false
+	}
 	return el.Value.(*entry).val, true
 }
 

@@ -17,11 +17,15 @@
 //     keyspace, and membership changes move only ~K/N keys.
 //
 //   - Router: an http.Handler fronting N workers. It routes
-//     /artifacts, /scenarios and /jobs by ring lookup, fails over to
-//     the ring successor when the owner is down or draining, probes
-//     worker health periodically, accepts registrations (POST /join)
-//     and drains (POST /leave), forwards X-Request-ID, stamps
-//     X-Worker, and serves merged /metrics and /healthz.
+//     /artifacts, /scenarios (inline and named) and /jobs by ring
+//     lookup, fails over to the ring successor when the owner is down
+//     or draining, hands each worker an X-Swallow-Peers hint (the
+//     key's other ring members) so a failover target can fill its
+//     cache from the old owner's persistent store instead of
+//     re-simulating, probes worker health periodically, accepts
+//     registrations (POST /join) and drains (POST /leave), forwards
+//     X-Request-ID, stamps X-Worker, and serves merged /metrics and
+//     /healthz.
 //
 // Determinism makes routing purely a cache/pool-affinity
 // optimization: any worker renders byte-identical tables, so a
@@ -77,12 +81,16 @@ type Result struct {
 	// hit). QueueMicros is the worker-side wait (remote only).
 	RenderMicros int64
 	QueueMicros  int64
-	// Cache is the remote worker's X-Cache verdict (HIT | MISS);
-	// empty for local renders, which do not cache.
+	// Cache is the remote worker's X-Cache verdict (HIT | HIT-DISK |
+	// HIT-PEER | MISS); empty for local renders, which do not cache.
 	Cache string
 	// Worker identifies who rendered: "local" or the remote worker
 	// name (host:port).
 	Worker string
+	// Metrics are the artifact's named headline quantities, when the
+	// artifact declares an extractor (local renders only) — the
+	// persistent store files them as provenance next to the body.
+	Metrics map[string]float64
 }
 
 // Info is one artifact registry row.
@@ -149,22 +157,26 @@ func (l *Local) Render(_ context.Context, req Request) (Result, error) {
 	}
 	cfg := a.Project(req.Config)
 	var (
-		body []byte
-		dur  time.Duration
-		rerr error
+		body    []byte
+		metrics map[string]float64
+		dur     time.Duration
+		rerr    error
 	)
 	// Shared side of the trace gate: plain renders proceed
 	// concurrently but never overlap an Exclusive traced run, whose
 	// session would otherwise record their machines.
 	trace.Shared(func() {
 		start := time.Now()
-		t, err := a.Table(cfg)
+		res, err := a.Run(cfg)
 		if err != nil {
 			rerr = err
 			return
 		}
 		dur = time.Since(start)
-		body = []byte(t.String())
+		body = []byte(a.Render(res).String())
+		if a.Metrics != nil {
+			metrics = a.Metrics(res)
+		}
 	})
 	if rerr != nil {
 		return Result{}, rerr
@@ -176,6 +188,7 @@ func (l *Local) Render(_ context.Context, req Request) (Result, error) {
 		ScenarioHash: hash,
 		RenderMicros: dur.Microseconds(),
 		Worker:       "local",
+		Metrics:      metrics,
 	}, nil
 }
 

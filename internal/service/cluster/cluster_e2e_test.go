@@ -24,6 +24,7 @@ import (
 	"swallow/internal/report"
 	"swallow/internal/service/api"
 	"swallow/internal/service/cluster"
+	"swallow/internal/service/store"
 )
 
 func init() {
@@ -598,5 +599,169 @@ func TestWorkerDrainHealthz(t *testing.T) {
 	resp, _ = get(t, ts.URL+"/healthz")
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("recovered healthz: %s; want 200", resp.Status)
+	}
+}
+
+// storeFor opens a disk-backed store for one test worker, bound to
+// the live registry version like swallow-serve -store-dir.
+func storeFor(t *testing.T) *store.Store {
+	t.Helper()
+	st, err := store.Open(store.Options{Dir: t.TempDir(), Version: api.RegistryVersion()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestRouterPeerFillOnDrain is the fleet-shared warm-handoff
+// contract: when a key's owner drains, the failover target fills its
+// cache from the old owner's persistent store via the router-injected
+// X-Swallow-Peers hint — X-Cache: HIT-PEER, byte-identical body, no
+// re-simulation — and counts it in swallow_peer_fills_total.
+func TestRouterPeerFillOnDrain(t *testing.T) {
+	s1, w1 := newWorker(t, api.Options{Store: storeFor(t)})
+	s2, w2 := newWorker(t, api.Options{Store: storeFor(t)})
+	rt, rts := newRouter(t, cluster.RouterOptions{}, w1.URL, w2.URL)
+
+	url := rts.URL + "/artifacts/echo?iters=77"
+	resp, want := get(t, url)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm request: %s: %s", resp.Status, want)
+	}
+	if c := resp.Header.Get("X-Cache"); c != "MISS" {
+		t.Fatalf("warm request X-Cache = %q; want MISS", c)
+	}
+	owner := resp.Header.Get("X-Worker")
+
+	// Drain the owner. It stays alive — a draining worker still
+	// answers GET /cache/{key} — but stops receiving routed renders.
+	survivorURL := w2.URL
+	if owner == hostOf(w1.URL) {
+		s1.SetDraining(true)
+	} else {
+		s2.SetDraining(true)
+		survivorURL = w1.URL
+	}
+	rt.ProbeAll()
+	if st := rt.WorkerStates()[owner]; st != "draining" {
+		t.Fatalf("owner state = %q; want draining", st)
+	}
+
+	resp, got := get(t, url)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("failover request: %s: %s", resp.Status, got)
+	}
+	survivor := resp.Header.Get("X-Worker")
+	if survivor == owner || survivor == "" {
+		t.Fatalf("failover served by %q; want the survivor", survivor)
+	}
+	if c := resp.Header.Get("X-Cache"); c != "HIT-PEER" {
+		t.Fatalf("failover X-Cache = %q; want HIT-PEER (filled from the drained owner's store)", c)
+	}
+	if got != want {
+		t.Fatal("peer-filled body differs from the owner's render")
+	}
+	resp, metrics := get(t, survivorURL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("survivor metrics: %s", resp.Status)
+	}
+	if !strings.Contains(metrics, "swallow_peer_fills_total 1") {
+		t.Fatal("survivor did not count the peer fill in swallow_peer_fills_total")
+	}
+
+	// The adopted entry is now the survivor's own: the next request is
+	// a plain memory HIT, no second peer ask.
+	resp, again := get(t, url)
+	if c := resp.Header.Get("X-Cache"); c != "HIT" {
+		t.Fatalf("post-fill X-Cache = %q; want HIT", c)
+	}
+	if again != want {
+		t.Fatal("post-fill body differs")
+	}
+}
+
+// TestRouterNamedScenario: the pin and every later render of a named
+// scenario route by the name alone, so they land on one worker — the
+// one that persisted the name — and the rendered body matches the
+// anonymous submission of the same spec.
+func TestRouterNamedScenario(t *testing.T) {
+	const spec = `{
+		"name": "links-probe",
+		"grid": {"slices_x": 1, "slices_y": 1},
+		"workload": {
+			"structure": "traffic",
+			"flows": [{
+				"src": {"x": 0, "y": 0, "layer": "V"},
+				"dst": {"x": 0, "y": 0, "layer": "H"},
+				"tokens": 400, "packet_tokens": 20
+			}]
+		},
+		"sweep": [{"param": "links", "ints": [1, 4]}]
+	}`
+	_, w1 := newWorker(t, api.Options{Store: storeFor(t)})
+	_, w2 := newWorker(t, api.Options{Store: storeFor(t)})
+	_, rts := newRouter(t, cluster.RouterOptions{}, w1.URL, w2.URL)
+
+	req, err := http.NewRequest(http.MethodPut, rts.URL+"/scenarios/probe?quick=1", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("pin: %s: %s", resp.Status, pinBody)
+	}
+	pinWorker := resp.Header.Get("X-Worker")
+	if pinWorker == "" {
+		t.Fatal("pin response lacks X-Worker")
+	}
+
+	// Renders by name land on the pinning worker (same routing key).
+	resp, named := get(t, rts.URL+"/scenarios/probe?quick=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("named render: %s: %s", resp.Status, named)
+	}
+	if wk := resp.Header.Get("X-Worker"); wk != pinWorker {
+		t.Fatalf("named render on %q; want the pinning worker %q", wk, pinWorker)
+	}
+	if resp.Header.Get("X-Scenario-Name") != "probe" {
+		t.Fatalf("X-Scenario-Name = %q", resp.Header.Get("X-Scenario-Name"))
+	}
+
+	// Byte-identical to the anonymous submission of the same spec.
+	ar, err := http.Post(rts.URL+"/scenarios?quick=1", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	anon, _ := io.ReadAll(ar.Body)
+	ar.Body.Close()
+	if named != string(anon) {
+		t.Fatal("named render differs from anonymous submission")
+	}
+
+	// The versions listing routes to the same worker and reports the pin.
+	resp, versions := get(t, rts.URL+"/scenarios/probe/versions")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("versions: %s: %s", resp.Status, versions)
+	}
+	if wk := resp.Header.Get("X-Worker"); wk != pinWorker {
+		t.Fatalf("versions on %q; want %q", wk, pinWorker)
+	}
+	if !strings.Contains(versions, `"version": 1`) {
+		t.Fatalf("versions body: %s", versions)
+	}
+
+	// /cache/{key} relays through the router too: an unknown
+	// well-formed key is the worker's 404, verbatim.
+	resp, _ = get(t, rts.URL+"/cache/"+strings.Repeat("a", 64))
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown cache key: %s; want 404", resp.Status)
+	}
+	if resp.Header.Get("X-Store-Version") == "" {
+		t.Fatal("relayed cache miss lacks X-Store-Version")
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -156,6 +157,11 @@ func NewRouter(opts RouterOptions) *Router {
 	rt.mux.HandleFunc("GET /artifacts", rt.handleIndex)
 	rt.mux.HandleFunc("GET /artifacts/{name}", rt.handleArtifact)
 	rt.mux.HandleFunc("POST /scenarios", rt.handleScenario)
+	rt.mux.HandleFunc("GET /scenarios", rt.handleScenarioIndex)
+	rt.mux.HandleFunc("PUT /scenarios/{name}", rt.handleScenarioNamed)
+	rt.mux.HandleFunc("GET /scenarios/{name}", rt.handleScenarioNamed)
+	rt.mux.HandleFunc("GET /scenarios/{name}/versions", rt.handleScenarioNamed)
+	rt.mux.HandleFunc("GET /cache/{key}", rt.handleCacheGet)
 	rt.mux.HandleFunc("POST /jobs", rt.handleJobSubmit)
 	rt.mux.HandleFunc("GET /jobs/{id}", rt.handleJobGet)
 	rt.mux.HandleFunc("POST /join", rt.handleJoin)
@@ -313,12 +319,43 @@ var hopByHop = []string{"Connection", "Keep-Alive", "Proxy-Authenticate",
 	"Proxy-Authorization", "Te", "Trailer", "Transfer-Encoding", "Upgrade"}
 
 // forwardHeader clones the inbound headers minus hop-by-hop ones.
+// X-Swallow-Peers is stripped too: it is router-owned routing state
+// (proxy sets it per candidate), never a client input — a forged
+// value would make workers fetch cache fills from arbitrary URLs.
 func forwardHeader(r *http.Request) http.Header {
 	hdr := r.Header.Clone()
 	for _, h := range hopByHop {
 		hdr.Del(h)
 	}
+	hdr.Del("X-Swallow-Peers")
 	return hdr
+}
+
+// maxPeerHints bounds the peer URLs handed to a worker per request.
+const maxPeerHints = 3
+
+// peersFor lists the base URLs of key's other ring-sequence members —
+// the previous owner first among them — as peer cache-fill hints for
+// the worker actually serving the request. Every state qualifies: a
+// draining worker still answers GET /cache/{key}, and a "down" worker
+// may be back up with a warm store before the probe loop notices
+// (the worker's peer ask just times out if not).
+func (rt *Router) peersFor(key, serving string) []string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var out []string
+	for _, name := range rt.ring.Sequence(key) {
+		if name == serving {
+			continue
+		}
+		if wk := rt.workers[name]; wk != nil {
+			out = append(out, wk.remote.URL())
+			if len(out) == maxPeerHints {
+				break
+			}
+		}
+	}
+	return out
 }
 
 // proxy forwards the request to the first candidate that answers,
@@ -330,7 +367,7 @@ func forwardHeader(r *http.Request) http.Header {
 // buffered and returned for inspection (job bookkeeping); otherwise
 // it streams. Returns the serving worker, or nil if every candidate
 // was unreachable (an error response has then been written).
-func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, body []byte, cands []*worker, capture bool) (*worker, []byte, int) {
+func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, body []byte, cands []*worker, key string, capture bool) (*worker, []byte, int) {
 	if len(cands) == 0 {
 		rt.noWorker.Add(1)
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "no healthy worker"})
@@ -338,6 +375,17 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, body []byte, can
 	}
 	hdr := forwardHeader(r)
 	for i, wk := range cands {
+		// Hand the worker its peer cache-fill hints: the other ring
+		// members of this key, previous owner first — so a failover
+		// target reclaims the old owner's warm result instead of
+		// re-simulating.
+		if key != "" {
+			if peers := rt.peersFor(key, wk.name); len(peers) > 0 {
+				hdr.Set("X-Swallow-Peers", strings.Join(peers, ","))
+			} else {
+				hdr.Del("X-Swallow-Peers")
+			}
+		}
 		start := time.Now()
 		resp, err := wk.remote.Do(r.Context(), r.Method, r.URL.Path, r.URL.Query(), hdr, body)
 		if err != nil {
@@ -379,7 +427,7 @@ func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, body []byte, can
 
 // route computes candidates for key and proxies.
 func (rt *Router) route(w http.ResponseWriter, r *http.Request, body []byte, key string, capture bool) (*worker, []byte, int) {
-	return rt.proxy(w, r, body, rt.candidates(key), capture)
+	return rt.proxy(w, r, body, rt.candidates(key), key, capture)
 }
 
 // handleIndex forwards the registry index to any healthy worker (a
@@ -421,6 +469,39 @@ func (rt *Router) handleScenario(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	rt.route(w, r, body, key, false)
+}
+
+// handleScenarioIndex forwards the pinned-name listing. Names are
+// per-worker state (each worker persists its own pins), so the index
+// routes by a fixed key for a stable view: clients always see the
+// same worker's list while membership holds.
+func (rt *Router) handleScenarioIndex(w http.ResponseWriter, r *http.Request) {
+	rt.route(w, r, nil, "scenarios-index", false)
+}
+
+// handleScenarioNamed routes PUT /scenarios/{name}, GET
+// /scenarios/{name} and its /versions listing by the name alone, so
+// the pin and every later render of it land on one worker — the only
+// one guaranteed to know the name → hash binding.
+func (rt *Router) handleScenarioNamed(w http.ResponseWriter, r *http.Request) {
+	var body []byte
+	if r.Method == http.MethodPut {
+		var err error
+		body, err = io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": fmt.Sprintf("reading spec: %v", err)})
+			return
+		}
+	}
+	rt.route(w, r, body, "scenario-name:"+r.PathValue("name"), false)
+}
+
+// handleCacheGet routes a raw cache read by the key itself — the
+// owner is the worker most likely to hold it. Used by operators for
+// spot checks; workers peer-fill directly from each other, not
+// through the router.
+func (rt *Router) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	rt.route(w, r, nil, r.PathValue("key"), false)
 }
 
 // handleJobSubmit routes an async job by the same key its synchronous
@@ -513,7 +594,7 @@ func (rt *Router) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	}
 	rt.mu.Unlock()
 	if wk != nil && wk.state != stateDown {
-		rt.proxy(w, r, nil, []*worker{wk}, true)
+		rt.proxy(w, r, nil, []*worker{wk}, "", true)
 		return
 	}
 	// Fallback scan: ask everyone still reachable.
